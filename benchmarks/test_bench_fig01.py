@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 1 (BW:CPU ratios, workloads vs datacenters).
+
+Paper claims: interactive workloads demand similar-or-higher BW per CPU
+than batch jobs; datacenters provision adequately at the server level but
+not at ToR/aggregation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig01_survey
+
+
+def test_fig1_survey(run_once):
+    result = run_once(fig01_survey.run)
+    result.workload_rows.show()
+    result.datacenter_rows.show()
+    assert result.interactive_median > result.batch_median
+    # Aggregation-level provisioning sits below the interactive median
+    # in every surveyed datacenter.
+    assert all(r < result.interactive_median for r in result.agg_ratios)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Why TAG beats hose and VOC: the paper's §2.2 examples, quantified.
+
+Walks through the two motivating applications — the three-tier web app
+(Fig. 2) and the Storm pipeline (Fig. 3) — and computes, for a given
+subtree split, the uplink bandwidth each abstraction must reserve:
+
+* TAG (Eq. 1)          — per component-pair minimums,
+* VOC (footnote 7)     — one aggregated minimum across pairs,
+* generalized hose     — everything into one hose per VM.
+
+Then replays the Fig. 4 congestion scenario through the enforcement
+model to show the hose model failing its own guarantee.
+"""
+
+from __future__ import annotations
+
+from repro.core import Tag, uplink_requirement
+from repro.enforcement import fig4_scenario
+from repro.models import hose_from_tag, hose_uplink_requirement, voc_uplink_requirement
+from repro.workloads.patterns import storm, three_tier
+
+
+def compare(tag: Tag, inside: dict[str, int], label: str) -> None:
+    tag_demand = uplink_requirement(tag, inside)
+    voc_demand = voc_uplink_requirement(tag, inside)
+    hose_demand = hose_uplink_requirement(hose_from_tag(tag), inside)
+    print(f"{label}")
+    print(f"  subtree holds: {inside}")
+    print(f"  TAG  (Eq. 1)      : {tag_demand.out:7.0f} Mbps out")
+    print(f"  VOC  (footnote 7) : {voc_demand.out:7.0f} Mbps out "
+          f"({voc_demand.out / max(tag_demand.out, 1e-9):.2f}x)")
+    print(f"  hose              : {hose_demand.out:7.0f} Mbps out "
+          f"({hose_demand.out / max(tag_demand.out, 1e-9):.2f}x)\n")
+
+
+def main() -> None:
+    # Fig. 2: the DB tier deployed on its own subtree (link L3).
+    web_app = three_tier("web-app", (4, 4, 4), b1=500.0, b2=100.0, b3=50.0)
+    compare(web_app, {"db": 4}, "Fig. 2(c), link L3 — DB tier alone:")
+
+    # Fig. 3: Storm split across two branches (link L1/L2).
+    pipeline = storm("storm", size=3, bandwidth=10.0)
+    compare(
+        pipeline,
+        {"spout1": 3, "bolt1": 3},
+        "Fig. 3(c), link L1 — {spout1, bolt1} in one branch:",
+    )
+
+    # Fig. 4: enforcement under congestion.
+    print("Fig. 4 — logic VM under congestion (500/100 guarantees, "
+          "600 Mbps bottleneck):")
+    for mode in ("tag", "hose"):
+        outcome = fig4_scenario(mode=mode)
+        verdict = "guarantee met" if outcome.web_guarantee_met else "GUARANTEE VIOLATED"
+        print(f"  {mode:<5}: web->logic {outcome.web_to_logic:3.0f} Mbps, "
+              f"db->logic {outcome.db_to_logic:3.0f} Mbps  ({verdict})")
+
+
+if __name__ == "__main__":
+    main()

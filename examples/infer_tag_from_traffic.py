@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Infer a TAG from raw VM-to-VM traffic (§3 "Producing TAG Models").
+
+For tenants who do not know their application's structure, the provider
+can reconstruct a TAG from measured traffic.  This example:
+
+1. takes a ground-truth application (a Storm-like pipeline),
+2. synthesizes a noisy VM-level traffic-matrix time series from it
+   (imperfect load balancing + background chatter),
+3. clusters VMs by communication similarity (angular-distance projection
+   graph + from-scratch Louvain),
+4. extracts hose and trunk guarantees (peak-of-sums over epochs),
+5. scores the recovered clustering with adjusted mutual information.
+"""
+
+from __future__ import annotations
+
+from repro.inference import (
+    ami,
+    build_tag_from_trace,
+    infer_components,
+    synthesize_trace,
+)
+from repro.workloads.patterns import storm
+
+
+def main() -> None:
+    truth = storm("stream-analytics", size=6, bandwidth=50.0)
+    print(f"ground truth: {truth.num_tiers} tiers x 6 VMs, "
+          f"{len(truth.edges)} edges\n")
+
+    trace = synthesize_trace(
+        truth, epochs=10, imbalance=1.5, noise_fraction=0.05, seed=42
+    )
+    print(f"synthesized {len(trace.matrices)} traffic epochs over "
+          f"{trace.num_vms} VMs")
+
+    labels = infer_components(trace, seed=42)
+    score = ami(trace.labels, labels)
+    clusters = len(set(labels))
+    print(f"Louvain found {clusters} components "
+          f"(truth: {truth.num_tiers}); AMI = {score:.2f}\n")
+
+    inferred = build_tag_from_trace(trace, labels, name="inferred")
+    print("inferred TAG guarantees (Mbps):")
+    for (src, dst), edge in sorted(inferred.edges.items()):
+        kind = "hose " if edge.is_self_loop else "trunk"
+        print(f"  {kind} {src:>9} -> {dst:<9} "
+              f"S={edge.send:6.1f}  R={edge.recv:6.1f}")
+    print("\nThe inferred TAG is directly placeable: pass it to "
+          "CloudMirrorPlacer like any tenant-authored request.")
+
+
+if __name__ == "__main__":
+    main()

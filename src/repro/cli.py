@@ -1,0 +1,43 @@
+"""Command-line entry point: ``repro-experiment <name> [options]``.
+
+``repro-experiment list`` shows the available experiments; every other
+subcommand dispatches to the matching driver in ``repro.experiments``,
+passing through its own options (try ``repro-experiment table1 --help``).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help", "list"):
+        print("usage: repro-experiment <name> [options]")
+        print("\navailable experiments:")
+        for name, module in EXPERIMENTS.items():
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<10} {summary}")
+        return 0
+    name, *rest = argv
+    module = EXPERIMENTS.get(name)
+    if module is None:
+        print(f"unknown experiment {name!r}; run 'repro-experiment list'")
+        return 2
+    if hasattr(module, "main"):
+        main_fn = module.main
+        try:
+            main_fn(rest)
+        except TypeError:
+            main_fn()
+        return 0
+    print(f"experiment {name!r} has no CLI driver")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

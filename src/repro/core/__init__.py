@@ -1,0 +1,39 @@
+"""Core TAG abstraction and bandwidth mathematics (paper §3, §4.1-4.2)."""
+
+from repro.core.bandwidth import (
+    BandwidthDemand,
+    achieved_wcs,
+    hose_requirement,
+    hose_saving_possible,
+    trunk_requirement,
+    trunk_saving,
+    trunk_saving_possible,
+    uplink_requirement,
+    wcs_cap,
+)
+from repro.core.serialize import (
+    tag_from_dict,
+    tag_from_json,
+    tag_to_dict,
+    tag_to_json,
+)
+from repro.core.tag import Component, Tag, TagEdge
+
+__all__ = [
+    "BandwidthDemand",
+    "Component",
+    "Tag",
+    "TagEdge",
+    "achieved_wcs",
+    "hose_requirement",
+    "hose_saving_possible",
+    "tag_from_dict",
+    "tag_from_json",
+    "tag_to_dict",
+    "tag_to_json",
+    "trunk_requirement",
+    "trunk_saving",
+    "trunk_saving_possible",
+    "uplink_requirement",
+    "wcs_cap",
+]

@@ -1,0 +1,108 @@
+"""TAG (de)serialization: dicts and JSON.
+
+The practical interface tenants and orchestration systems need (§3
+suggests OpenStack Heat / CloudFormation templates "could be extended
+with bandwidth guarantee information"): a stable, versioned, dictionary
+representation of a TAG that round-trips exactly.
+
+Format (version 1)::
+
+    {
+      "format": "repro-tag-v1",
+      "name": "web-shop",
+      "components": [
+        {"name": "web", "size": 8},
+        {"name": "internet", "external": true}        # size optional
+      ],
+      "edges": [
+        {"src": "web", "dst": "db", "send": 100.0, "recv": 200.0},
+        {"component": "db", "bandwidth": 50.0}         # self-loop form
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.core.tag import Tag
+from repro.errors import TagError
+
+__all__ = ["tag_to_dict", "tag_from_dict", "tag_to_json", "tag_from_json"]
+
+FORMAT = "repro-tag-v1"
+
+
+def tag_to_dict(tag: Tag) -> dict[str, Any]:
+    """A JSON-ready dictionary capturing the TAG exactly."""
+    components = []
+    for component in tag.components.values():
+        entry: dict[str, Any] = {"name": component.name}
+        if component.size is not None:
+            entry["size"] = component.size
+        if component.external:
+            entry["external"] = True
+        components.append(entry)
+    edges: list[dict[str, Any]] = []
+    for edge in tag.iter_edges():
+        if edge.is_self_loop:
+            edges.append({"component": edge.src, "bandwidth": edge.send})
+        else:
+            edges.append(
+                {
+                    "src": edge.src,
+                    "dst": edge.dst,
+                    "send": edge.send,
+                    "recv": edge.recv,
+                }
+            )
+    return {
+        "format": FORMAT,
+        "name": tag.name,
+        "components": components,
+        "edges": edges,
+    }
+
+
+def tag_from_dict(data: Mapping[str, Any]) -> Tag:
+    """Rebuild a TAG from :func:`tag_to_dict` output (validating)."""
+    if data.get("format") != FORMAT:
+        raise TagError(
+            f"unsupported TAG format {data.get('format')!r}; expected {FORMAT!r}"
+        )
+    try:
+        tag = Tag(str(data["name"]))
+        for entry in data["components"]:
+            tag.add_component(
+                entry["name"],
+                entry.get("size"),
+                external=bool(entry.get("external", False)),
+            )
+        for entry in data["edges"]:
+            if "component" in entry:
+                tag.add_self_loop(entry["component"], float(entry["bandwidth"]))
+            else:
+                tag.add_edge(
+                    entry["src"],
+                    entry["dst"],
+                    send=float(entry["send"]),
+                    recv=float(entry["recv"]),
+                )
+    except KeyError as missing:
+        raise TagError(f"TAG document missing field {missing}") from None
+    return tag
+
+
+def tag_to_json(tag: Tag, *, indent: int | None = 2) -> str:
+    return json.dumps(tag_to_dict(tag), indent=indent, sort_keys=True)
+
+
+def tag_from_json(document: str) -> Tag:
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise TagError(f"invalid TAG JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise TagError("TAG JSON must be an object")
+    return tag_from_dict(data)

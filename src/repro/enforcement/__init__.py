@@ -1,0 +1,30 @@
+"""Guarantee-enforcement prototype: max-min flows + ElasticSwitch model."""
+
+from repro.enforcement.dynamics import (
+    DynamicsConfig,
+    ElasticSwitchDynamics,
+    PeriodSample,
+)
+from repro.enforcement.elasticswitch import EnforcementResult, PairFlow, enforce
+from repro.enforcement.maxmin import FlowSpec, maxmin_rates
+from repro.enforcement.scenarios import (
+    Fig13Point,
+    Fig4Outcome,
+    fig4_scenario,
+    fig13_scenario,
+)
+
+__all__ = [
+    "DynamicsConfig",
+    "ElasticSwitchDynamics",
+    "EnforcementResult",
+    "Fig13Point",
+    "Fig4Outcome",
+    "FlowSpec",
+    "PairFlow",
+    "PeriodSample",
+    "enforce",
+    "fig4_scenario",
+    "fig13_scenario",
+    "maxmin_rates",
+]

@@ -1,0 +1,207 @@
+"""Time-stepped ElasticSwitch dynamics (§5.2 substrate, beyond steady state).
+
+The static model in :mod:`repro.enforcement.elasticswitch` computes the
+fixed point directly.  The real ElasticSwitch is a distributed control
+loop in each hypervisor: every period it (re)partitions guarantees among
+the currently-active pairs (GP) and probes for spare bandwidth with an
+increase/decrease law on top of the guarantee (RA).  This module
+simulates that loop so experiments can observe *convergence*: how many
+periods a new flow needs before its guarantee is honoured, and how
+work-conserving rates back off when congestion appears.
+
+Model per period:
+
+1. **GP** — pair guarantees = max-min over the virtual guarantee hoses
+   (per TAG edge in ``tag`` mode; single per-VM hose in ``hose`` mode),
+   exactly as the static model.
+2. **RA** — each pair holds a rate limit ``limit >= guarantee``.  The
+   network allocates max-min rates subject to the limits.  A pair that
+   achieved its limit (no congestion) multiplicatively increases the
+   limit (probing, "rate increase" in ElasticSwitch); a pair that got
+   less than its limit observed congestion and backs the limit off
+   toward ``max(guarantee, achieved)`` ("rate decrease").  Limits never
+   drop below the guarantee — guarantees are the protected floor.
+
+Links are shared FIFO queues: when the offered load exceeds capacity,
+loss hits every crossing flow in proportion to its sending rate, and the
+resulting throughput reduction is the congestion signal.  The loop traps
+limits in [guarantee, demand]; tests assert convergence to within a few
+percent of the static fixed point in a few dozen periods.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.tag import Tag
+from repro.enforcement.elasticswitch import PairFlow, enforce
+from repro.errors import EnforcementError
+
+__all__ = ["DynamicsConfig", "PeriodSample", "ElasticSwitchDynamics"]
+
+
+@dataclass(frozen=True)
+class DynamicsConfig:
+    """Control-loop constants (defaults follow ElasticSwitch's spirit)."""
+
+    increase_factor: float = 1.06
+    decrease_factor: float = 0.90
+    headroom: float = 0.1
+    convergence_tolerance: float = 15.0  # Mbps (probing keeps oscillating)
+
+    def __post_init__(self) -> None:
+        if self.increase_factor <= 1.0:
+            raise EnforcementError("increase_factor must be > 1")
+        if not 0.0 < self.decrease_factor < 1.0:
+            raise EnforcementError("decrease_factor must be in (0, 1)")
+        if not 0.0 <= self.headroom < 1.0:
+            raise EnforcementError("headroom must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class PeriodSample:
+    """Rates and limits after one control period."""
+
+    period: int
+    guarantees: tuple[float, ...]
+    limits: tuple[float, ...]
+    rates: tuple[float, ...]
+
+
+class ElasticSwitchDynamics:
+    """A running enforcement control loop over a fixed set of flows.
+
+    Flows can be added/removed between periods (``add_flow`` /
+    ``remove_flow``), modelling tenants' pairs becoming active, as in the
+    Fig. 13 experiment where C2 senders appear one by one.
+    """
+
+    def __init__(
+        self,
+        tag: Tag,
+        capacities: dict[object, float],
+        *,
+        mode: str = "tag",
+        config: DynamicsConfig | None = None,
+    ) -> None:
+        if mode not in ("tag", "hose"):
+            raise EnforcementError(f"mode must be 'tag' or 'hose', got {mode!r}")
+        self.tag = tag
+        self.capacities = dict(capacities)
+        self.mode = mode
+        self.config = config or DynamicsConfig()
+        self.flows: list[PairFlow] = []
+        self._limits: list[float] = []
+        self._period = 0
+
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: PairFlow) -> None:
+        """Activate a pair; its initial limit is its (next) guarantee."""
+        for link in flow.links:
+            if link not in self.capacities:
+                raise EnforcementError(f"flow references unknown link {link!r}")
+        self.flows.append(flow)
+        self._limits.append(0.0)  # bootstrapped to the guarantee next period
+
+    def remove_flow(self, index: int) -> None:
+        del self.flows[index]
+        del self._limits[index]
+
+    # ------------------------------------------------------------------
+    def step(self) -> PeriodSample:
+        """Run one control period: GP, RA probe adjustment, allocation."""
+        if not self.flows:
+            self._period += 1
+            return PeriodSample(self._period, (), (), ())
+        guarantees = self._partition_guarantees()
+        # Bootstrap / floor every limit at the current guarantee.
+        for i, guarantee in enumerate(guarantees):
+            self._limits[i] = max(self._limits[i], guarantee)
+            self._limits[i] = min(self._limits[i], self.flows[i].demand)
+        rates, congested = self._transmit(self._limits)
+        # Probe: congestion-free pairs raise their limit; congested pairs
+        # back off toward their *guarantee* — retreating to the protected
+        # floor (never below it) is what makes guarantees hold under
+        # congestion in ElasticSwitch.
+        config = self.config
+        for i, flow in enumerate(self.flows):
+            limit = self._limits[i]
+            if not congested[i] and limit < flow.demand:
+                new_limit = limit * config.increase_factor
+            else:
+                new_limit = max(guarantees[i], limit * config.decrease_factor)
+            self._limits[i] = min(max(new_limit, guarantees[i]), flow.demand)
+        self._period += 1
+        return PeriodSample(
+            self._period, tuple(guarantees), tuple(self._limits), tuple(rates)
+        )
+
+    def run(self, periods: int) -> list[PeriodSample]:
+        return [self.step() for _ in range(periods)]
+
+    def run_until_stable(self, max_periods: int = 200) -> list[PeriodSample]:
+        """Iterate until rates stop moving (within the tolerance)."""
+        samples = [self.step()]
+        for _ in range(max_periods - 1):
+            sample = self.step()
+            previous = samples[-1]
+            samples.append(sample)
+            if len(sample.rates) == len(previous.rates) and all(
+                abs(a - b) <= self.config.convergence_tolerance
+                for a, b in zip(sample.rates, previous.rates)
+            ):
+                break
+        return samples
+
+    # ------------------------------------------------------------------
+    def steady_state(self):
+        """The static fixed point (for convergence assertions)."""
+        return enforce(
+            self.tag,
+            self.flows,
+            self.capacities,
+            mode=self.mode,
+            headroom=self.config.headroom,
+        )
+
+    def _partition_guarantees(self) -> list[float]:
+        result = enforce(
+            self.tag,
+            self.flows,
+            self.capacities,
+            mode=self.mode,
+            headroom=self.config.headroom,
+        )
+        return list(result.guarantees)
+
+    def _transmit(
+        self, limits: Sequence[float]
+    ) -> tuple[list[float], list[bool]]:
+        """Send at the rate limits through proportional-loss links.
+
+        A link whose offered load exceeds capacity drops packets from
+        every crossing flow in proportion to its sending rate (a shared
+        FIFO queue); a flow's throughput is its limit scaled by the worst
+        link on its path, and any scaling at all is the congestion signal
+        the control loop reacts to.
+        """
+        offered: dict[object, float] = {link: 0.0 for link in self.capacities}
+        for flow, limit in zip(self.flows, limits):
+            for link in flow.links:
+                offered[link] += min(limit, flow.demand)
+        scale: dict[object, float] = {}
+        for link, capacity in self.capacities.items():
+            if math.isinf(capacity) or offered[link] <= capacity:
+                scale[link] = 1.0
+            else:
+                scale[link] = capacity / offered[link]
+        rates: list[float] = []
+        congested: list[bool] = []
+        for flow, limit in zip(self.flows, limits):
+            sending = min(limit, flow.demand)
+            factor = min((scale[link] for link in flow.links), default=1.0)
+            rates.append(sending * factor)
+            congested.append(factor < 1.0 - 1e-12)
+        return rates, congested

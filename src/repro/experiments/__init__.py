@@ -1,0 +1,33 @@
+"""One driver module per paper table/figure (see DESIGN.md experiment index)."""
+
+from repro.experiments import (
+    fig01_survey,
+    fig04_hose_failure,
+    fig07_bmax_sweep,
+    fig08_load_sweep,
+    fig09_oversub_sweep,
+    fig10_ablation,
+    fig11_wcs_guarantee,
+    fig12_opportunistic_ha,
+    fig13_enforcement,
+    inference_ami,
+    runtime_scaling,
+    table1_reserved_bw,
+)
+
+EXPERIMENTS = {
+    "fig1": fig01_survey,
+    "fig4": fig04_hose_failure,
+    "table1": table1_reserved_bw,
+    "fig7": fig07_bmax_sweep,
+    "fig8": fig08_load_sweep,
+    "fig9": fig09_oversub_sweep,
+    "fig10": fig10_ablation,
+    "fig11": fig11_wcs_guarantee,
+    "fig12": fig12_opportunistic_ha,
+    "fig13": fig13_enforcement,
+    "runtime": runtime_scaling,
+    "inference": inference_ami,
+}
+
+__all__ = ["EXPERIMENTS"]

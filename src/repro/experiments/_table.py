@@ -1,0 +1,47 @@
+"""Tiny text-table formatter shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["Table"]
+
+
+@dataclass
+class Table:
+    """Rows of heterogeneous cells rendered as an aligned text table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def to_text(self) -> str:
+        rendered = [[self._format(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rendered:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.to_text())
+        print()

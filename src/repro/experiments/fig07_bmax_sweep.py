@@ -1,0 +1,90 @@
+"""Fig. 7: rejection rates vs B_max at two load levels, CM vs OVOC.
+
+"(a) Load = 50%" and "(b) Load = 90%": sweeping the per-VM bandwidth
+scale B_max from 400 to 1200 Mbps, plotting rejected-bandwidth and
+rejected-VM fractions.  The paper's headline: "for some B_max, CM can
+deploy almost all requests while OVOC rejects up to 40% of bandwidth
+requests."
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments._table import Table
+from repro.simulation.metrics import RunMetrics
+from repro.simulation.runner import simulate_rejections
+from repro.topology.builder import DatacenterSpec
+from repro.workloads.bing import bing_pool
+
+__all__ = ["run", "main", "DEFAULT_BMAX_VALUES"]
+
+DEFAULT_BMAX_VALUES = (400.0, 600.0, 800.0, 1000.0, 1200.0)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    bmax: float
+    load: float
+    algorithm: str
+    metrics: RunMetrics
+
+
+def run(
+    *,
+    loads: tuple[float, ...] = (0.5, 0.9),
+    bmax_values: tuple[float, ...] = DEFAULT_BMAX_VALUES,
+    pods: int = 2,
+    arrivals: int = 600,
+    seed: int = 0,
+    algorithms: tuple[str, ...] = ("cm", "ovoc"),
+) -> list[SweepPoint]:
+    pool = bing_pool()
+    spec = DatacenterSpec(pods=pods)
+    points = []
+    for load in loads:
+        for bmax in bmax_values:
+            for algorithm in algorithms:
+                metrics = simulate_rejections(
+                    pool,
+                    algorithm,
+                    load=load,
+                    bmax=bmax,
+                    spec=spec,
+                    arrivals=arrivals,
+                    seed=seed,
+                )
+                points.append(SweepPoint(bmax, load, algorithm, metrics))
+    return points
+
+
+def to_table(points: list[SweepPoint]) -> Table:
+    table = Table(
+        "Fig. 7 — rejection rates (%) vs B_max",
+        ("load", "bmax", "algorithm", "BW rejected", "VM rejected", "tenants rejected"),
+    )
+    for p in points:
+        table.add(
+            f"{p.load:.0%}",
+            f"{p.bmax:.0f}",
+            p.algorithm,
+            f"{p.metrics.bw_rejection_rate:.1%}",
+            f"{p.metrics.vm_rejection_rate:.1%}",
+            f"{p.metrics.tenant_rejection_rate:.1%}",
+        )
+    return table
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pods", type=int, default=2)
+    parser.add_argument("--arrivals", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    points = run(pods=args.pods, arrivals=args.arrivals, seed=args.seed)
+    to_table(points).show()
+
+
+if __name__ == "__main__":
+    main()

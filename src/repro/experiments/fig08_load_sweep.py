@@ -1,0 +1,99 @@
+"""Fig. 8: rejection rates vs datacenter load at B_max = 800 Mbps.
+
+"OVOC fails to deploy a set of tenants having large slot or bandwidth
+demands even at low loads while CM efficiently places most of them."
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments._table import Table
+from repro.simulation.metrics import RunMetrics
+from repro.simulation.runner import simulate_rejections
+from repro.topology.builder import DatacenterSpec
+from repro.workloads.bing import bing_pool
+
+__all__ = ["run", "main", "DEFAULT_LOADS"]
+
+DEFAULT_LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    load: float
+    algorithm: str
+    metrics: RunMetrics
+
+
+def run(
+    *,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    bmax: float = 800.0,
+    pods: int = 2,
+    arrivals: int = 600,
+    seed: int = 0,
+    algorithms: tuple[str, ...] = ("cm", "ovoc"),
+) -> list[LoadPoint]:
+    pool = bing_pool()
+    spec = DatacenterSpec(pods=pods)
+    points = []
+    for load in loads:
+        for algorithm in algorithms:
+            metrics = simulate_rejections(
+                pool,
+                algorithm,
+                load=load,
+                bmax=bmax,
+                spec=spec,
+                arrivals=arrivals,
+                seed=seed,
+            )
+            points.append(LoadPoint(load, algorithm, metrics))
+    return points
+
+
+def to_table(points: list[LoadPoint]) -> Table:
+    table = Table(
+        "Fig. 8 — rejection rates (%) vs load, B_max = 800 Mbps",
+        ("load", "algorithm", "BW rejected", "VM rejected"),
+    )
+    for p in points:
+        table.add(
+            f"{p.load:.0%}",
+            p.algorithm,
+            f"{p.metrics.bw_rejection_rate:.1%}",
+            f"{p.metrics.vm_rejection_rate:.1%}",
+        )
+    return table
+
+
+def to_chart(points: list[LoadPoint]) -> str:
+    from repro.experiments._chart import line_chart
+
+    series = {}
+    for p in points:
+        series.setdefault(p.algorithm, []).append(
+            (p.load * 100, p.metrics.bw_rejection_rate * 100)
+        )
+    return line_chart(
+        series,
+        title="Fig. 8 — rejected bandwidth (%) vs load (%)",
+        x_label="load (%)",
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pods", type=int, default=2)
+    parser.add_argument("--arrivals", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    points = run(pods=args.pods, arrivals=args.arrivals, seed=args.seed)
+    to_table(points).show()
+    print(to_chart(points))
+
+
+if __name__ == "__main__":
+    main()

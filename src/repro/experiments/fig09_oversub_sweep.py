@@ -1,0 +1,87 @@
+"""Fig. 9: rejected bandwidth vs topology oversubscription, 16x - 128x.
+
+"CM is resilient to highly bandwidth-constrained network environments
+while OVOC is quickly incapable of deploying tenants."  The x-axis is the
+end-to-end server-to-core oversubscription; the paper's base topology is
+32x (= 4 x 8).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments._table import Table
+from repro.simulation.metrics import RunMetrics
+from repro.simulation.runner import simulate_rejections
+from repro.topology.builder import DatacenterSpec
+from repro.workloads.bing import bing_pool
+
+__all__ = ["run", "main", "DEFAULT_OVERSUB"]
+
+# total -> (tor_oversub, agg_oversub)
+DEFAULT_OVERSUB = {16: (4.0, 4.0), 32: (4.0, 8.0), 64: (8.0, 8.0), 128: (8.0, 16.0)}
+
+
+@dataclass(frozen=True)
+class OversubPoint:
+    oversubscription: int
+    algorithm: str
+    metrics: RunMetrics
+
+
+def run(
+    *,
+    oversubscriptions: dict[int, tuple[float, float]] | None = None,
+    load: float = 0.9,
+    bmax: float = 800.0,
+    pods: int = 2,
+    arrivals: int = 600,
+    seed: int = 0,
+    algorithms: tuple[str, ...] = ("cm", "ovoc"),
+) -> list[OversubPoint]:
+    oversubscriptions = oversubscriptions or DEFAULT_OVERSUB
+    pool = bing_pool()
+    points = []
+    for total, (tor, agg) in sorted(oversubscriptions.items()):
+        spec = DatacenterSpec(pods=pods, tor_oversub=tor, agg_oversub=agg)
+        assert int(spec.total_oversubscription) == total
+        for algorithm in algorithms:
+            metrics = simulate_rejections(
+                pool,
+                algorithm,
+                load=load,
+                bmax=bmax,
+                spec=spec,
+                arrivals=arrivals,
+                seed=seed,
+            )
+            points.append(OversubPoint(total, algorithm, metrics))
+    return points
+
+
+def to_table(points: list[OversubPoint]) -> Table:
+    table = Table(
+        "Fig. 9 — rejected bandwidth (%) vs oversubscription ratio",
+        ("oversubscription", "algorithm", "BW rejected"),
+    )
+    for p in points:
+        table.add(
+            f"{p.oversubscription}x",
+            p.algorithm,
+            f"{p.metrics.bw_rejection_rate:.1%}",
+        )
+    return table
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pods", type=int, default=2)
+    parser.add_argument("--arrivals", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    to_table(run(pods=args.pods, arrivals=args.arrivals, seed=args.seed)).show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Fig. 10: micro-benchmark of the CM subroutines (the paper's ablation).
+
+Deactivates Coloc and Balance one at a time: "Colocation is clearly the
+main factor in accepting more resource requests but Balance also
+contributes ... Even without Coloc, the Balance-only approach performed
+close to OVOC."
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments._table import Table
+from repro.simulation.metrics import RunMetrics
+from repro.simulation.runner import simulate_rejections
+from repro.topology.builder import DatacenterSpec
+from repro.workloads.bing import bing_pool
+
+__all__ = ["run", "main", "VARIANTS"]
+
+VARIANTS = ("cm", "cm-coloc-only", "cm-balance-only", "ovoc")
+_LABELS = {
+    "cm": "Coloc+Balance",
+    "cm-coloc-only": "Coloc",
+    "cm-balance-only": "Balance",
+    "ovoc": "OVOC",
+}
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    variant: str
+    label: str
+    metrics: RunMetrics
+
+
+def run(
+    *,
+    load: float = 0.8,
+    bmax: float = 800.0,
+    pods: int = 2,
+    arrivals: int = 600,
+    seed: int = 0,
+) -> list[AblationPoint]:
+    pool = bing_pool()
+    spec = DatacenterSpec(pods=pods)
+    points = []
+    for variant in VARIANTS:
+        metrics = simulate_rejections(
+            pool,
+            variant,
+            load=load,
+            bmax=bmax,
+            spec=spec,
+            arrivals=arrivals,
+            seed=seed,
+        )
+        points.append(AblationPoint(variant, _LABELS[variant], metrics))
+    return points
+
+
+def to_table(points: list[AblationPoint]) -> Table:
+    table = Table(
+        "Fig. 10 — CM subroutine ablation (rejected bandwidth %)",
+        ("variant", "BW rejected", "VM rejected"),
+    )
+    for p in points:
+        table.add(
+            p.label,
+            f"{p.metrics.bw_rejection_rate:.1%}",
+            f"{p.metrics.vm_rejection_rate:.1%}",
+        )
+    return table
+
+
+def to_chart(points: list[AblationPoint]) -> str:
+    from repro.experiments._chart import bar_chart
+
+    return bar_chart(
+        {p.label: p.metrics.bw_rejection_rate * 100 for p in points},
+        title="Fig. 10 — rejected bandwidth (%)",
+        unit="%",
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pods", type=int, default=2)
+    parser.add_argument("--arrivals", type=int, default=600)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    points = run(pods=args.pods, arrivals=args.arrivals, seed=args.seed)
+    to_table(points).show()
+    print(to_chart(points))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Fig. 13: TAG guarantees under ElasticSwitch-style enforcement.
+
+VM Z (tier C2) receives TCP traffic from VM X (tier C1, 450 Mbps trunk
+guarantee) and a growing number of C2 senders (450 Mbps intra hose)
+through a 1 Gbps bottleneck with 10% left unreserved.  TAG mode keeps
+X -> Z at its guarantee; collapsing the guarantees into one hose lets the
+intra-tier traffic crowd X out (the Fig. 4 failure, quantified).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.enforcement.scenarios import Fig13Point, fig13_scenario
+from repro.experiments._table import Table
+
+__all__ = ["run", "main"]
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    tag_points: list[Fig13Point]
+    hose_points: list[Fig13Point]
+    guarantee: float
+
+
+def run(
+    *, max_senders: int = 5, guarantee: float = 450.0, bottleneck: float = 1000.0
+) -> Fig13Result:
+    tag_points = [
+        fig13_scenario(k, mode="tag", guarantee=guarantee, bottleneck=bottleneck)
+        for k in range(max_senders + 1)
+    ]
+    hose_points = [
+        fig13_scenario(k, mode="hose", guarantee=guarantee, bottleneck=bottleneck)
+        for k in range(max_senders + 1)
+    ]
+    return Fig13Result(tag_points, hose_points, guarantee)
+
+
+def to_table(result: Fig13Result) -> Table:
+    table = Table(
+        "Fig. 13 — TCP throughput of VM Z (Mbps) vs #senders in C2",
+        ("C2 senders", "X->Z (TAG)", "C2->Z (TAG)", "X->Z (hose)", "C2->Z (hose)"),
+    )
+    for tag_p, hose_p in zip(result.tag_points, result.hose_points):
+        table.add(
+            tag_p.senders_in_c2,
+            f"{tag_p.x_to_z:.0f}",
+            f"{tag_p.c2_to_z:.0f}",
+            f"{hose_p.x_to_z:.0f}",
+            f"{hose_p.c2_to_z:.0f}",
+        )
+    return table
+
+
+def to_chart(result: Fig13Result) -> str:
+    from repro.experiments._chart import line_chart
+
+    return line_chart(
+        {
+            "X->Z (TAG)": [
+                (p.senders_in_c2, p.x_to_z) for p in result.tag_points
+            ],
+            "X->Z (hose)": [
+                (p.senders_in_c2, p.x_to_z) for p in result.hose_points
+            ],
+        },
+        title="Fig. 13(b) — throughput of VM Z (Mbps)",
+        x_label="senders in C2",
+    )
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-senders", type=int, default=5)
+    args = parser.parse_args(argv)
+    result = run(max_senders=args.max_senders)
+    to_table(result).show()
+    print(to_chart(result))
+    print(
+        f"TAG keeps X->Z >= {result.guarantee:.0f} Mbps for every sender "
+        "count; the hose baseline degrades toward 900/(k+1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

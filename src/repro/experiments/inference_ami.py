@@ -1,0 +1,98 @@
+"""§3 TAG inference: adjusted mutual information vs ground truth.
+
+"We applied this approach to the bing.com dataset ... we obtained on
+average 0.54 over 80 applications using Louvain clustering, indicating
+substantial commonality between the ground truth clustering and the
+inferred clusters, but also the need for further improvement."
+
+We run the same pipeline (feature vectors -> angular-similarity
+projection graph -> Louvain -> AMI) over synthetic traces generated from
+the bing-like pool.  Synthetic traces are cleaner than production ones,
+so the expected score is similar-or-higher than 0.54; the experiment
+reports the distribution.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments._table import Table
+from repro.inference.ami import ami
+from repro.inference.builder import infer_components
+from repro.inference.traffic import synthesize_trace
+from repro.workloads.bing import bing_pool
+
+__all__ = ["run", "main"]
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    scores: list[float]
+    mean: float
+    applications: int
+
+
+def run(
+    *,
+    max_vms: int = 60,
+    max_applications: int = 20,
+    noise_fraction: float = 0.05,
+    seed: int = 0,
+) -> InferenceResult:
+    """Infer components for every pool application small enough to afford.
+
+    The projection graph is O(VMs^2); ``max_vms`` bounds per-application
+    cost (the paper's 80 apps include 700-VM giants that need the same
+    pipeline but minutes of compute).
+    """
+    pool = [
+        tag
+        for tag in bing_pool()
+        if tag.num_tiers >= 2 and tag.size <= max_vms
+    ][:max_applications]
+    scores = []
+    for index, tag in enumerate(pool):
+        trace = synthesize_trace(
+            tag, seed=seed + index, noise_fraction=noise_fraction
+        )
+        labels = infer_components(trace, seed=seed + index)
+        scores.append(ami(trace.labels, labels))
+    return InferenceResult(
+        scores=scores,
+        mean=float(np.mean(scores)) if scores else 0.0,
+        applications=len(scores),
+    )
+
+
+def to_table(result: InferenceResult) -> Table:
+    table = Table(
+        "§3 — TAG inference quality (adjusted mutual information)",
+        ("statistic", "value"),
+    )
+    table.add("applications", result.applications)
+    table.add("mean AMI", f"{result.mean:.2f}")
+    table.add("min AMI", f"{min(result.scores):.2f}" if result.scores else "-")
+    table.add("max AMI", f"{max(result.scores):.2f}" if result.scores else "-")
+    table.add("paper reference", "0.54 over 80 bing.com applications")
+    return table
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-vms", type=int, default=60)
+    parser.add_argument("--max-applications", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    result = run(
+        max_vms=args.max_vms,
+        max_applications=args.max_applications,
+        seed=args.seed,
+    )
+    to_table(result).show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""§5.1 "Algorithm runtime": CM vs Oktopus vs SecondNet placement latency.
+
+The paper reports CM "typically runs within 200 msec for tenants of up to
+100s of VMs and up to a few seconds for tenants of up to 1000 VMs", that
+CM and Oktopus run within the same order of magnitude, and that pipe
+placement (SecondNet) is dramatically slower.  This driver times single
+placements on an empty datacenter across tenant sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from dataclasses import dataclass
+
+from repro.experiments._table import Table
+from repro.placement.base import Placement
+from repro.simulation.runner import make_placer
+from repro.topology.builder import DatacenterSpec, three_level_tree
+from repro.topology.ledger import Ledger
+from repro.workloads.patterns import three_tier
+
+__all__ = ["run", "main", "DEFAULT_SIZES"]
+
+DEFAULT_SIZES = (25, 100, 400, 1000)
+
+
+@dataclass(frozen=True)
+class RuntimePoint:
+    vms: int
+    algorithm: str
+    seconds: float
+    placed: bool
+
+
+def _tenant(total_vms: int):
+    third = max(1, total_vms // 3)
+    web = total_vms - 2 * third
+    return three_tier(
+        f"rt-{total_vms}", (web, third, third), b1=200.0, b2=50.0, b3=20.0
+    )
+
+
+def run(
+    *,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    pods: int = 2,
+    algorithms: tuple[str, ...] = ("cm", "ovoc", "secondnet"),
+    secondnet_size_cap: int = 120,
+) -> list[RuntimePoint]:
+    spec = DatacenterSpec(pods=pods)
+    points = []
+    for vms in sizes:
+        tenant = _tenant(vms)
+        for algorithm in algorithms:
+            if algorithm == "secondnet" and vms > secondnet_size_cap:
+                continue  # O(N^2) pipes; the paper reports tens of minutes
+            topology = three_level_tree(spec)
+            placer = make_placer(algorithm, Ledger(topology))
+            started = time.perf_counter()
+            result = placer.place(tenant)
+            elapsed = time.perf_counter() - started
+            points.append(
+                RuntimePoint(vms, algorithm, elapsed, isinstance(result, Placement))
+            )
+    return points
+
+
+def to_table(points: list[RuntimePoint]) -> Table:
+    table = Table(
+        "§5.1 — single-tenant placement runtime (empty datacenter)",
+        ("VMs", "algorithm", "runtime (ms)", "placed"),
+    )
+    for p in points:
+        table.add(p.vms, p.algorithm, f"{p.seconds * 1e3:.1f}", "yes" if p.placed else "NO")
+    return table
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pods", type=int, default=2)
+    args = parser.parse_args(argv)
+    to_table(run(pods=args.pods)).show()
+
+
+if __name__ == "__main__":
+    main()

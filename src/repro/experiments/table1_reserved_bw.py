@@ -1,0 +1,78 @@
+"""Table 1: reserved bandwidth (Gbps) per network level for three combos.
+
+CM+TAG places with CloudMirror and accounts with Eq. 1; CM+VOC re-accounts
+the *same* placement under the footnote-7 VOC requirement; OVOC places the
+same accepted tenants with the improved Oktopus.  Idealized unlimited
+topology, arrivals only, stop at the first slot rejection.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+from repro.experiments._table import Table
+from repro.simulation.runner import ReservedBandwidth, measure_reserved_bandwidth
+from repro.topology.builder import DatacenterSpec
+from repro.workloads.bing import bing_pool
+from repro.workloads.hpcloud import hpcloud_pool
+from repro.workloads.synthetic import synthetic_pool
+
+__all__ = ["run", "main"]
+
+_POOLS = {
+    "bing": bing_pool,
+    "hpcloud": hpcloud_pool,
+    "synthetic": synthetic_pool,
+}
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    reserved: ReservedBandwidth
+    table: Table
+
+
+def run(
+    *,
+    workload: str = "bing",
+    pods: int = 8,
+    bmax: float = 800.0,
+    seed: int = 1,
+) -> Table1Result:
+    pool = _POOLS[workload]()
+    spec = DatacenterSpec(pods=pods)
+    reserved = measure_reserved_bandwidth(pool, bmax=bmax, spec=spec, seed=seed)
+    table = Table(
+        f"Table 1 — reserved bandwidth (Gbps), {workload} workload, "
+        f"{spec.num_servers} servers, {reserved.tenants_deployed} tenants",
+        ("algorithm", "server", "tor", "agg"),
+    )
+
+    def ratio(row: dict[str, float], level: str) -> str:
+        base = reserved.cm_tag[level]
+        if base <= 0:
+            return f"{row[level]:.1f}"
+        return f"{row[level]:.1f} ({row[level] / base:.2f})"
+
+    table.add("CM+TAG", *(f"{reserved.cm_tag[x]:.1f}" for x in ReservedBandwidth.LEVELS))
+    table.add("CM+VOC", *(ratio(reserved.cm_voc, x) for x in ReservedBandwidth.LEVELS))
+    table.add("OVOC", *(ratio(reserved.ovoc, x) for x in ReservedBandwidth.LEVELS))
+    return Table1Result(reserved=reserved, table=table)
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", choices=sorted(_POOLS), default="bing")
+    parser.add_argument("--pods", type=int, default=8, help="8 = paper scale (2048 servers)")
+    parser.add_argument("--bmax", type=float, default=800.0)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    result = run(
+        workload=args.workload, pods=args.pods, bmax=args.bmax, seed=args.seed
+    )
+    result.table.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""TAG inference from raw VM-level traffic (paper §3)."""
+
+from repro.inference.ami import ami, entropy, expected_mutual_information, mutual_information
+from repro.inference.builder import build_tag_from_trace, infer_components, infer_tag
+from repro.inference.louvain import louvain_communities, modularity
+from repro.inference.similarity import (
+    angular_similarity,
+    feature_vectors,
+    projection_graph,
+)
+from repro.inference.traffic import TrafficTrace, synthesize_trace
+
+__all__ = [
+    "TrafficTrace",
+    "ami",
+    "angular_similarity",
+    "build_tag_from_trace",
+    "entropy",
+    "expected_mutual_information",
+    "feature_vectors",
+    "infer_components",
+    "infer_tag",
+    "louvain_communities",
+    "modularity",
+    "mutual_information",
+    "projection_graph",
+    "synthesize_trace",
+]

@@ -1,0 +1,34 @@
+"""Baseline tenant-network abstractions: hose, VOC, pipe (paper §2.2)."""
+
+from repro.models.hose import (
+    HoseModel,
+    VirtualCluster,
+    hose_from_tag,
+    hose_uplink_requirement,
+)
+from repro.models.pipe import (
+    Pipe,
+    PipeSet,
+    pipe_tag_from_tag,
+    pipe_vm_demand,
+    pipes_from_tag,
+    vm_name,
+)
+from repro.models.voc import VocCluster, VocModel, voc_from_tag, voc_uplink_requirement
+
+__all__ = [
+    "HoseModel",
+    "Pipe",
+    "PipeSet",
+    "VirtualCluster",
+    "VocCluster",
+    "VocModel",
+    "hose_from_tag",
+    "hose_uplink_requirement",
+    "pipe_tag_from_tag",
+    "pipe_vm_demand",
+    "pipes_from_tag",
+    "vm_name",
+    "voc_from_tag",
+    "voc_uplink_requirement",
+]

@@ -1,0 +1,142 @@
+"""The pipe model baseline (paper §2.2): per-VM-pair guarantees.
+
+Pipes capture exact pairwise demands but are rigid (no statistical
+multiplexing across destinations) and tedious (O(N^2) values).  The paper
+evaluates SecondNet on "idealized" pipe models obtained by dividing each
+TAG hose and trunk guarantee uniformly across the corresponding VM pairs;
+:func:`pipes_from_tag` implements that conversion.  VMs are identified as
+``"<tier>:<index>"`` with indices starting at 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.core.tag import Tag
+from repro.errors import ModelError
+
+__all__ = [
+    "Pipe",
+    "PipeSet",
+    "pipe_tag_from_tag",
+    "pipes_from_tag",
+    "vm_name",
+    "pipe_vm_demand",
+]
+
+
+def vm_name(tier: str, index: int) -> str:
+    """Canonical VM identifier used by the pipe model and SecondNet placer."""
+    return f"{tier}:{index}"
+
+
+@dataclass(frozen=True)
+class Pipe:
+    """A directed VM-to-VM bandwidth guarantee."""
+
+    src: str
+    dst: str
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ModelError(f"pipe endpoints must differ, got {self.src!r} twice")
+        if self.bandwidth < 0:
+            raise ModelError(f"pipe bandwidth must be >= 0, got {self.bandwidth!r}")
+
+
+@dataclass(frozen=True)
+class PipeSet:
+    """An immutable collection of pipes over a fixed set of VMs."""
+
+    name: str
+    vms: tuple[str, ...]
+    pipes: tuple[Pipe, ...]
+
+    def __post_init__(self) -> None:
+        known = set(self.vms)
+        for pipe in self.pipes:
+            if pipe.src not in known or pipe.dst not in known:
+                raise ModelError(f"pipe {pipe} references an unknown VM")
+
+    @property
+    def size(self) -> int:
+        return len(self.vms)
+
+    def iter_pipes(self) -> Iterator[Pipe]:
+        return iter(self.pipes)
+
+    @property
+    def total_bandwidth(self) -> float:
+        return sum(p.bandwidth for p in self.pipes)
+
+
+def pipe_vm_demand(pipes: PipeSet) -> Mapping[str, tuple[float, float]]:
+    """Per-VM ``(out, in)`` demand implied by a pipe set."""
+    demand: dict[str, list[float]] = {vm: [0.0, 0.0] for vm in pipes.vms}
+    for pipe in pipes.iter_pipes():
+        demand[pipe.src][0] += pipe.bandwidth
+        demand[pipe.dst][1] += pipe.bandwidth
+    return {vm: (out, into) for vm, (out, into) in demand.items()}
+
+
+def pipes_from_tag(tag: Tag) -> PipeSet:
+    """Idealized pipe model of a TAG (§5.1, SecondNet comparison).
+
+    Each trunk aggregate ``B(u->v) = min(S*N_u, R*N_v)`` is divided evenly
+    over the ``N_u * N_v`` ordered pairs; each self-loop hose lets a VM send
+    ``SR`` split evenly over its ``N-1`` peers.  External components have no
+    placeable VMs and are skipped (pipes require concrete endpoints).
+    """
+    vms: list[str] = []
+    for component in tag.internal_components():
+        assert component.size is not None
+        vms.extend(vm_name(component.name, i) for i in range(component.size))
+    pipes: list[Pipe] = []
+    for edge in tag.iter_edges():
+        src = tag.component(edge.src)
+        dst = tag.component(edge.dst)
+        if src.external or dst.external:
+            continue
+        assert src.size is not None and dst.size is not None
+        if edge.is_self_loop:
+            if src.size < 2:
+                continue
+            per_pair = edge.send / (src.size - 1)
+            for i in range(src.size):
+                for j in range(src.size):
+                    if i != j:
+                        pipes.append(
+                            Pipe(vm_name(src.name, i), vm_name(src.name, j), per_pair)
+                        )
+        else:
+            aggregate = tag.edge_aggregate(edge)
+            per_pair = aggregate / (src.size * dst.size)
+            for i in range(src.size):
+                for j in range(dst.size):
+                    pipes.append(
+                        Pipe(vm_name(src.name, i), vm_name(dst.name, j), per_pair)
+                    )
+    return PipeSet(name=tag.name, vms=tuple(vms), pipes=tuple(pipes))
+
+
+def pipe_tag_from_tag(tag: Tag) -> Tag:
+    """The idealized pipe model of a TAG, *as a TAG* (§5.1, CM+pipe).
+
+    Pipes are a special case of TAG (one VM per component, no
+    self-loops), so CloudMirror can place pipe models directly; the paper
+    evaluates exactly this ("we were able to evaluate running CM to
+    deploy the idealized bing pipe models").  Pipes between the same pair
+    become one edge; pipes in both directions become two directed edges.
+    """
+    pipes = pipes_from_tag(tag)
+    pipe_tag = Tag(f"{tag.name}-pipes")
+    for vm in pipes.vms:
+        pipe_tag.add_component(vm, size=1)
+    for pipe in pipes.iter_pipes():
+        existing = pipe_tag.edge(pipe.src, pipe.dst)
+        if existing is not None:
+            raise ModelError(f"duplicate pipe {pipe.src!r}->{pipe.dst!r}")
+        pipe_tag.add_edge(pipe.src, pipe.dst, pipe.bandwidth, pipe.bandwidth)
+    return pipe_tag

@@ -1,0 +1,31 @@
+"""VM placement algorithms: CloudMirror, Oktopus (VOC), SecondNet (pipe)."""
+
+from repro.placement.base import Placement, PlacementResult, Placer, Rejection
+from repro.placement.cloudmirror import CloudMirrorPlacer
+from repro.placement.ha import (
+    DemandEstimator,
+    HaPolicy,
+    allocation_wcs,
+    saving_desirable,
+    tier_cap_left,
+)
+from repro.placement.oktopus import OktopusPlacer
+from repro.placement.secondnet import PipeAllocation, SecondNetPlacer
+from repro.placement.state import TenantAllocation
+
+__all__ = [
+    "CloudMirrorPlacer",
+    "DemandEstimator",
+    "HaPolicy",
+    "OktopusPlacer",
+    "PipeAllocation",
+    "Placement",
+    "PlacementResult",
+    "Placer",
+    "Rejection",
+    "SecondNetPlacer",
+    "TenantAllocation",
+    "allocation_wcs",
+    "saving_desirable",
+    "tier_cap_left",
+]

@@ -1,0 +1,44 @@
+"""Common placement result types and the placer protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.tag import Tag
+    from repro.placement.state import TenantAllocation
+
+__all__ = ["Placement", "Rejection", "PlacementResult", "Placer"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A successful placement: the live allocation plus bookkeeping."""
+
+    allocation: "TenantAllocation"
+
+    @property
+    def tag(self) -> "Tag":
+        return self.allocation.tag
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """A rejected tenant request (expected admission-control outcome)."""
+
+    tag: "Tag"
+    reason: str
+
+    def __bool__(self) -> bool:
+        return False
+
+
+PlacementResult = Union[Placement, Rejection]
+
+
+class Placer(Protocol):
+    """Anything that can admit a TAG onto a datacenter."""
+
+    def place(self, tag: "Tag") -> PlacementResult:  # pragma: no cover
+        ...

@@ -1,0 +1,695 @@
+"""The CloudMirror VM placement algorithm (paper §4.4-4.5, Algorithm 1).
+
+Structure follows the paper's pseudocode:
+
+* ``place`` (AllocTenant) — find the lowest subtree the tenant is likely
+  to fit under, try to allocate there, escalate one level on failure.
+* ``_alloc`` (Alloc) — recursive: at a server, place the request; at a
+  switch, run Colocate (when bandwidth saving is feasible and, with
+  opportunistic HA, desirable) and then Balance on the remainder.
+* ``_colocate`` / ``_find_tiers_to_coloc`` — pick (tier or trunk-connected
+  tier pair, child) with the largest verified bandwidth saving, excluding
+  low-bandwidth tiers so they can later be packed with high-bandwidth VMs.
+* ``_balance`` / ``_md_subset_sum`` — greedy multi-dimensional subset-sum
+  driving each child's slot and up/down bandwidth utilization toward 100%
+  together; in opportunistic-HA mode when saving is undesirable it places
+  one VM at a time across children to spread tiers.
+
+Bandwidth reservations are recomputed exactly (Eq. 1) on every touched
+uplink as placement proceeds, and capacity is checked at subtree-completion
+boundaries (the paper's per-subtree ``ReserveBW``), so transient
+mid-placement spikes of the hose term never reject a tenant whose final
+layout fits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.bandwidth import trunk_saving, uplink_requirement
+from repro.core.tag import Tag
+from repro.placement.base import Placement, PlacementResult, Rejection
+from repro.placement.ha import (
+    DemandEstimator,
+    HaPolicy,
+    saving_desirable,
+    tier_cap_left,
+)
+from repro.placement.state import TenantAllocation
+from repro.topology.ledger import Ledger
+from repro.topology.tree import Node
+
+__all__ = ["CloudMirrorPlacer"]
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """A colocation candidate: VMs per tier to put under one child."""
+
+    child: Node
+    request: dict[str, int]
+    saving: float
+
+
+class CloudMirrorPlacer:
+    """Places TAG tenants on a tree datacenter (the CM algorithm).
+
+    ``enable_colocate`` / ``enable_balance`` exist for the Fig. 10
+    ablation; production use keeps both on.  ``ha`` selects §4.5 behaviour.
+    """
+
+    def __init__(
+        self,
+        ledger: Ledger,
+        *,
+        enable_colocate: bool = True,
+        enable_balance: bool = True,
+        subtree_choice: str = "best-fit",
+        ha: HaPolicy | None = None,
+    ) -> None:
+        if subtree_choice not in ("best-fit", "most-free"):
+            raise ValueError(
+                f"subtree_choice must be 'best-fit' or 'most-free', "
+                f"got {subtree_choice!r}"
+            )
+        self.ledger = ledger
+        self.topology = ledger.topology
+        self.enable_colocate = enable_colocate
+        self.enable_balance = enable_balance
+        self.subtree_choice = subtree_choice
+        self.ha = ha or HaPolicy()
+        self.estimator = DemandEstimator()
+        # True only while an opportunistic-HA placement attempt is active
+        # (the fallback attempt after a failed spread runs with it off).
+        self._spreading = False
+
+    # ------------------------------------------------------------------
+    # AllocTenant
+    # ------------------------------------------------------------------
+    def place(self, tag: Tag) -> PlacementResult:
+        self.estimator.observe(tag)
+        if tag.size > self.ledger.free_slots(self.topology.root):
+            return Rejection(tag, "not enough free VM slots in the datacenter")
+        start_level = self._start_level(tag)
+        result = self._place_attempt(tag, start_level, self.ha.opportunistic)
+        if isinstance(result, Placement) or not self.ha.opportunistic:
+            return result
+        # Opportunistic anti-affinity must never cost a placement the plain
+        # algorithm would accept: fall back to the default behaviour.
+        return self._place_attempt(tag, 0, False)
+
+    def _place_attempt(
+        self, tag: Tag, start_level: int, opportunistic: bool
+    ) -> PlacementResult:
+        self._spreading = opportunistic
+        try:
+            allocation = TenantAllocation(tag, self.ledger)
+            subtree = self._find_lowest_subtree(tag, start_level)
+            while subtree is not None:
+                savepoint = allocation.savepoint()
+                want = allocation.remaining_tiers()
+                self._alloc(allocation, want, subtree, subtree)
+                if (
+                    allocation.is_complete
+                    and not self.ledger.has_overcommit()
+                    and allocation.finalize(subtree)
+                ):
+                    return Placement(allocation)
+                allocation.rollback(savepoint)
+                if subtree.is_root:
+                    break
+                subtree = self._find_lowest_subtree(tag, subtree.level + 1)
+            return Rejection(tag, "no subtree could satisfy slots and bandwidth")
+        finally:
+            self._spreading = False
+
+    # ------------------------------------------------------------------
+    # auto-scaling (paper §6 extension)
+    # ------------------------------------------------------------------
+    def scale_up(self, allocation: TenantAllocation, tier: str, extra: int) -> bool:
+        """Grow a placed tenant's ``tier`` by ``extra`` VMs in place.
+
+        The TAG's per-VM guarantees stay fixed (the model's auto-scaling
+        property, §3); the tier size grows, every existing reservation is
+        re-derived under the new size, and the new VMs are placed with
+        the usual Colocate/Balance machinery.  Returns False — with the
+        allocation exactly as before — when the datacenter cannot host
+        the growth.
+        """
+        savepoint = allocation.savepoint()
+        allocation.begin_scale_up(tier, extra)
+        want = {tier: extra}
+        root = self.topology.root
+        self._alloc(allocation, want, root, root)
+        if not want and allocation.finish_scale_up():
+            return True
+        allocation.rollback(savepoint)
+        return False
+
+    def scale_down(
+        self, allocation: TenantAllocation, tier: str, remove: int
+    ) -> None:
+        """Shrink a placed tenant's ``tier`` by ``remove`` VMs in place.
+
+        Always succeeds: shrinking only lowers Eq. 1's min() terms, so no
+        reservation can exceed capacity afterwards.
+        """
+        allocation.scale_down(tier, remove)
+
+    def _start_level(self, tag: Tag) -> int:
+        """Lowest level to search (0, or the lowest *desirable* level §4.5)."""
+        if not self.ha.opportunistic:
+            return 0
+        expected = self.estimator.expected_per_vm_demand
+        for level in range(self.topology.num_levels):
+            ratios = []
+            for node in self.topology.level_nodes(level):
+                free = self.ledger.free_slots(node)
+                if free <= 0 or node.is_root:
+                    continue
+                available = min(
+                    self.ledger.nominal_available_up(node),
+                    self.ledger.nominal_available_down(node),
+                )
+                ratios.append(max(0.0, available) / free)
+            if not ratios:
+                continue
+            # Saving is desirable at this level when the bandwidth
+            # typically available per free slot is scarcer than demand.
+            if sum(ratios) / len(ratios) < expected:
+                return level
+        return self.topology.root.level
+
+    def _find_lowest_subtree(self, tag: Tag, min_level: int) -> Node | None:
+        """Lowest-level subtree likely to fit ``tag``.
+
+        Validates aggregate free slots and, when the TAG talks to external
+        components, the root-path bandwidth for that external demand.
+        Among valid candidates, ``best-fit`` (default) picks the fewest
+        sufficient free slots — preserving large holes for large tenants —
+        while ``most-free`` load-balances (the ablation benchmark
+        quantifies the difference).
+        """
+        external_demand = self._external_demand(tag)
+        best_fit = self.subtree_choice == "best-fit"
+        for level in range(min_level, self.topology.num_levels):
+            best: Node | None = None
+            for node in self.topology.level_nodes(level):
+                free = self.ledger.free_slots(node)
+                if free < tag.size:
+                    continue
+                if not self._root_path_available(node, external_demand):
+                    continue
+                if best is None:
+                    best = node
+                elif best_fit and free < self.ledger.free_slots(best):
+                    best = node
+                elif not best_fit and free > self.ledger.free_slots(best):
+                    best = node
+            if best is not None:
+                return best
+        return None
+
+    def _external_demand(self, tag: Tag):
+        all_inside = {
+            c.name: c.size for c in tag.internal_components() if c.size is not None
+        }
+        return uplink_requirement(tag, all_inside)
+
+    def _root_path_available(self, node: Node, demand) -> bool:
+        if demand.out == 0.0 and demand.into == 0.0:
+            return True
+        for hop in self.topology.path_to_root(node):
+            if (
+                self.ledger.available_up(hop) < demand.out
+                or self.ledger.available_down(hop) < demand.into
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Alloc
+    # ------------------------------------------------------------------
+    def _alloc(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        subtree: Node,
+        ceiling: Node,
+    ) -> bool:
+        """Place as much of ``want`` as possible under ``subtree``.
+
+        Mutates ``want`` down to the unplaced remainder; True iff empty.
+        """
+        if subtree.is_server:
+            self._alloc_server(allocation, want, subtree, ceiling)
+            return not want
+        if self.enable_colocate and self._bw_saving_worthwhile(subtree):
+            self._colocate(allocation, want, subtree, ceiling)
+        if want:
+            if self.enable_balance:
+                self._balance(allocation, want, subtree, ceiling)
+            else:
+                # Fig. 10 "Coloc"-only ablation: place the remainder the
+                # way prior network-aware placers do — pack children in
+                # free-slot order with no resource balancing (Fig. 6(c)).
+                self._naive_fill(allocation, want, subtree, ceiling)
+        return not want
+
+    def _alloc_server(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        server: Node,
+        ceiling: Node,
+    ) -> None:
+        """Place VMs straight onto one server, respecting slots and Eq. 7."""
+        free = server.slots - self.ledger.used_slots(server)
+        order = sorted(
+            want,
+            key=lambda t: max(allocation.tag.per_vm_demand(t)),
+            reverse=True,
+        )
+        for tier in order:
+            if free <= 0:
+                break
+            count = min(want[tier], free, self._cap_left(allocation, server, tier))
+            if count <= 0:
+                continue
+            if allocation.place(server, tier, count, ceiling):
+                free -= count
+                want[tier] -= count
+                if want[tier] == 0:
+                    del want[tier]
+
+    def _cap_left(self, allocation: TenantAllocation, node: Node, tier: str) -> int:
+        """Remaining Eq. 7 headroom for ``tier`` under ``node``."""
+        return tier_cap_left(self.ha, allocation, node, tier)
+
+    # ------------------------------------------------------------------
+    # Colocate
+    # ------------------------------------------------------------------
+    def _bw_saving_worthwhile(self, subtree: Node) -> bool:
+        """Gate on Colocate: feasible under HA, and desirable under oppHA."""
+        if self.ha.guarantees_wcs and self.ha.required_wcs >= 0.5:
+            # With RWCS >= 50%, no tier may put a majority under a subtree
+            # at or below the anti-affinity level, so no saving is possible
+            # there (§4.4).
+            if subtree.level - 1 <= self.ha.laa_level:
+                return False
+        if self._spreading:
+            return saving_desirable(
+                self.ledger, subtree, self.estimator.expected_per_vm_demand
+            )
+        return True
+
+    def _colocate(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        subtree: Node,
+        ceiling: Node,
+    ) -> None:
+        excluded: set[int] = set()
+        while want:
+            candidate = self._find_tiers_to_coloc(allocation, want, subtree, excluded)
+            if candidate is None:
+                return
+            placed = self._try_child(
+                allocation, want, candidate.request, candidate.child, ceiling
+            )
+            if placed == 0:
+                excluded.add(candidate.child.node_id)
+
+    def _try_child(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        request: dict[str, int],
+        child: Node,
+        ceiling: Node,
+    ) -> int:
+        """Recurse into ``child`` with ``request``; roll back on overcommit.
+
+        Returns the number of VMs that stayed placed.  ``want`` is reduced
+        by exactly that amount.
+        """
+        savepoint = allocation.savepoint()
+        remainder = dict(request)
+        self._alloc(allocation, remainder, child, ceiling)
+        if self.ledger.has_overcommit():
+            allocation.rollback(savepoint)
+            return 0
+        placed = 0
+        for tier, asked in request.items():
+            got = asked - remainder.get(tier, 0)
+            if got:
+                placed += got
+                want[tier] -= got
+                if want[tier] == 0:
+                    del want[tier]
+        return placed
+
+    def _find_tiers_to_coloc(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        subtree: Node,
+        excluded: set[int],
+    ) -> _Candidate | None:
+        """Best (child, tier set) with a verified positive bandwidth saving.
+
+        Hose candidates use Eq. 2, trunk candidates Eqs. 4-6 (saving
+        verified with Eq. 4, as §4.2 requires).  Tiers whose per-VM demand
+        is below the children's nominal per-slot bandwidth are excluded —
+        they are better used later to balance slot/bandwidth utilization
+        (Fig. 6) — unless nothing else remains.
+        """
+        tag = allocation.tag
+        children = [
+            c
+            for c in subtree.children
+            if c.node_id not in excluded and self.ledger.free_slots(c) > 0
+        ]
+        if not children:
+            return None
+        if self.enable_balance:
+            threshold = self._low_bw_threshold(subtree)
+            heavy = {
+                tier
+                for tier in want
+                if max(tag.per_vm_demand(tier)) >= threshold
+            }
+        else:
+            # Without Balance there is nothing to pair low-bandwidth tiers
+            # with later, so colocate them too ("blind" colocation).
+            heavy = set(want)
+        best: _Candidate | None = None
+        for child in children:
+            free = self.ledger.free_slots(child)
+            for candidate in self._child_candidates(
+                allocation, want, heavy, child, free
+            ):
+                if best is None or candidate.saving > best.saving:
+                    best = candidate
+        return best
+
+    def _low_bw_threshold(self, subtree: Node) -> float:
+        """Nominal per-slot bandwidth of the children (Fig. 6 heuristic)."""
+        values = []
+        for child in subtree.children:
+            slots = self.topology.slots_under(child)
+            nominal = min(child.nominal_up, child.nominal_down)
+            if slots > 0 and math.isfinite(nominal):
+                values.append(nominal / slots)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    def _child_candidates(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        heavy: set[str],
+        child: Node,
+        free: int,
+    ):
+        """Yield verified-saving candidates for one child."""
+        tag = allocation.tag
+        # Hose candidates (Eq. 2): a majority of a self-loop tier in child.
+        for tier in want:
+            if tier not in heavy:
+                continue
+            loop = tag.self_loop(tier)
+            if loop is None or loop.send == 0.0:
+                continue
+            size = tag.component(tier).size
+            assert size is not None
+            here = allocation.count(child, tier)
+            add = min(want[tier], free, self._cap_left(allocation, child, tier))
+            if add <= 0:
+                continue
+            after = here + add
+            if after <= size / 2.0:
+                continue
+            crossing_before = min(here, size - here) * loop.send
+            crossing_after = min(after, size - after) * loop.send
+            saving = add * loop.send - (crossing_after - crossing_before)
+            if saving > 0:
+                yield _Candidate(child, {tier: add}, saving)
+        # Trunk candidates (Eqs. 4-6): colocate both endpoints of an edge.
+        for edge in tag.iter_edges():
+            if edge.is_self_loop:
+                continue
+            if tag.component(edge.src).external or tag.component(edge.dst).external:
+                continue
+            if edge.src not in heavy and edge.dst not in heavy:
+                continue
+            src_size = tag.component(edge.src).size
+            dst_size = tag.component(edge.dst).size
+            assert src_size is not None and dst_size is not None
+            src_here = allocation.count(child, edge.src)
+            dst_here = allocation.count(child, edge.dst)
+            src_want = want.get(edge.src, 0)
+            dst_want = want.get(edge.dst, 0)
+            if src_want + dst_want == 0:
+                continue
+            # Fill the higher-coefficient endpoint first (maximizes Eq. 4).
+            budget = free
+            if edge.send >= edge.recv:
+                src_add = min(
+                    src_want, budget, self._cap_left(allocation, child, edge.src)
+                )
+                dst_add = min(
+                    dst_want,
+                    budget - src_add,
+                    self._cap_left(allocation, child, edge.dst),
+                )
+            else:
+                dst_add = min(
+                    dst_want, budget, self._cap_left(allocation, child, edge.dst)
+                )
+                src_add = min(
+                    src_want,
+                    budget - dst_add,
+                    self._cap_left(allocation, child, edge.src),
+                )
+            if src_add + dst_add <= 0:
+                continue
+            before = trunk_saving(edge, src_here, dst_here, src_size, dst_size)
+            after = trunk_saving(
+                edge, src_here + src_add, dst_here + dst_add, src_size, dst_size
+            )
+            saving = after - before
+            if saving > 0:
+                request = {}
+                if src_add:
+                    request[edge.src] = src_add
+                if dst_add:
+                    request[edge.dst] = dst_add
+                yield _Candidate(child, request, saving)
+
+    def _naive_fill(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        subtree: Node,
+        ceiling: Node,
+    ) -> None:
+        """Sequentially pack children by free slots (no balancing)."""
+        excluded: set[int] = set()
+        while want:
+            children = [
+                c
+                for c in subtree.children
+                if c.node_id not in excluded and self.ledger.free_slots(c) > 0
+            ]
+            if not children:
+                return
+            child = max(children, key=self.ledger.free_slots)
+            budget = self.ledger.free_slots(child)
+            request: dict[str, int] = {}
+            for tier, left in want.items():
+                if budget <= 0:
+                    break
+                count = min(left, budget, self._cap_left(allocation, child, tier))
+                if count > 0:
+                    request[tier] = count
+                    budget -= count
+            if not request:
+                excluded.add(child.node_id)
+                continue
+            placed = self._try_child(allocation, want, request, child, ceiling)
+            if placed == 0:
+                excluded.add(child.node_id)
+
+    # ------------------------------------------------------------------
+    # Balance
+    # ------------------------------------------------------------------
+    def _balance(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        subtree: Node,
+        ceiling: Node,
+    ) -> None:
+        spread_mode = self._spreading and not saving_desirable(
+            self.ledger, subtree, self.estimator.expected_per_vm_demand
+        )
+        excluded: set[int] = set()
+        while want:
+            pick = self._md_subset_sum(
+                allocation, want, subtree, excluded, spread_mode
+            )
+            if pick is None:
+                break
+            child, request = pick
+            placed = self._try_child(allocation, want, request, child, ceiling)
+            if placed == 0:
+                excluded.add(child.node_id)
+        if not want:
+            return
+        # Second pass ignoring the (conservative, additive) bandwidth
+        # estimates: the per-VM worst case overstates Eq. 1's min() terms,
+        # so a remainder here may still fit.  The exact overcommit check
+        # at each _try_child boundary remains the real capacity gate.
+        excluded = set()
+        while want:
+            pick = self._md_subset_sum(
+                allocation,
+                want,
+                subtree,
+                excluded,
+                spread_mode=False,
+                ignore_bandwidth=True,
+            )
+            if pick is None:
+                return
+            child, request = pick
+            placed = self._try_child(allocation, want, request, child, ceiling)
+            if placed == 0:
+                excluded.add(child.node_id)
+
+    def _md_subset_sum(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        subtree: Node,
+        excluded: set[int],
+        spread_mode: bool,
+        ignore_bandwidth: bool = False,
+    ) -> tuple[Node, dict[str, int]] | None:
+        """Choose (child, VM subset) driving child utilization toward 100%.
+
+        The greedy works at tier granularity (the paper's speed-up: VMs of
+        one tier are identical) over three dimensions — slots, outgoing
+        bandwidth, incoming bandwidth — using utilization fractions as the
+        common metric.  In ``spread_mode`` (§4.5 opportunistic HA) it
+        returns a single VM for the emptiest child instead.
+        """
+        children = [
+            c
+            for c in subtree.children
+            if c.node_id not in excluded and self.ledger.free_slots(c) > 0
+        ]
+        if not children:
+            return None
+        if spread_mode:
+            return self._spread_pick(allocation, want, children)
+        best_child: Node | None = None
+        best_fill: dict[str, int] | None = None
+        best_score = -1.0
+        for child in children:
+            fill, score = self._greedy_fill(
+                allocation, want, child, ignore_bandwidth
+            )
+            if fill and score > best_score:
+                best_child, best_fill, best_score = child, fill, score
+        if best_child is None or best_fill is None:
+            return None
+        return best_child, best_fill
+
+    def _greedy_fill(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        child: Node,
+        ignore_bandwidth: bool = False,
+    ) -> tuple[dict[str, int], float]:
+        """Greedy tier-granularity fill of one child; returns (fill, score)."""
+        tag = allocation.tag
+        slots_free = self.ledger.free_slots(child)
+        if ignore_bandwidth:
+            up_free = down_free = math.inf
+        else:
+            up_free = max(0.0, self.ledger.nominal_available_up(child))
+            down_free = max(0.0, self.ledger.nominal_available_down(child))
+        fill: dict[str, int] = {}
+        used_slots = 0
+        used_up = 0.0
+        used_down = 0.0
+        remaining = dict(want)
+        while True:
+            best_tier = None
+            best_count = 0
+            best_min_util = -1.0
+            for tier, left in remaining.items():
+                if left <= 0:
+                    continue
+                out, into = tag.per_vm_demand(tier)
+                cap = self._cap_left(allocation, child, tier) - fill.get(tier, 0)
+                count = min(left, slots_free - used_slots, cap)
+                if count <= 0:
+                    continue
+                if out > 0 and math.isfinite(up_free):
+                    count = min(count, int((up_free - used_up) / out))
+                if into > 0 and math.isfinite(down_free):
+                    count = min(count, int((down_free - used_down) / into))
+                if count <= 0:
+                    continue
+                utils = [(used_slots + count) / max(slots_free, 1)]
+                if math.isfinite(up_free) and up_free > 0:
+                    utils.append((used_up + count * out) / up_free)
+                if math.isfinite(down_free) and down_free > 0:
+                    utils.append((used_down + count * into) / down_free)
+                min_util = min(utils)
+                if min_util > best_min_util:
+                    best_min_util = min_util
+                    best_tier = tier
+                    best_count = count
+            if best_tier is None:
+                break
+            out, into = tag.per_vm_demand(best_tier)
+            fill[best_tier] = fill.get(best_tier, 0) + best_count
+            used_slots += best_count
+            used_up += best_count * out
+            used_down += best_count * into
+            remaining[best_tier] -= best_count
+            if remaining[best_tier] <= 0:
+                del remaining[best_tier]
+        if not fill:
+            return {}, -1.0
+        # Score: how full the child ends up, averaged over the finite dims.
+        utils = [used_slots / max(slots_free, 1)]
+        if math.isfinite(up_free) and up_free > 0:
+            utils.append(used_up / up_free)
+        if math.isfinite(down_free) and down_free > 0:
+            utils.append(used_down / down_free)
+        return fill, sum(utils) / len(utils)
+
+    def _spread_pick(
+        self,
+        allocation: TenantAllocation,
+        want: dict[str, int],
+        children: list[Node],
+    ) -> tuple[Node, dict[str, int]] | None:
+        """Opportunistic-HA: one VM of the largest tier, emptiest child."""
+        tier = max(want, key=lambda t: want[t])
+        eligible = [
+            c for c in children if self._cap_left(allocation, c, tier) > 0
+        ]
+        if not eligible:
+            return None
+        child = max(eligible, key=self.ledger.free_slots)
+        return child, {tier: 1}

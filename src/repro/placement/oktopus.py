@@ -1,0 +1,199 @@
+"""The improved Oktopus placer for VC / VOC models (paper §5 baseline).
+
+Oktopus [Ballani et al., SIGCOMM 2011] places Virtual Clusters by greedily
+packing VMs into the lowest subtree whose links can carry the hose
+crossing ``min(m, N - m) * B``.  The paper's authors "substantially
+improved" it before using it as a baseline, and this implementation adopts
+the same three improvements (§5):
+
+* handle the case when an allocation fails part-way (rollback and
+  escalate, instead of failing the tenant outright),
+* place the clusters of one VOC under a common subtree to localize
+  inter-cluster traffic,
+* generalize VOC to arbitrary per-cluster sizes, hose and core bandwidth.
+
+Bandwidth is reserved with the footnote-7 VOC requirement — the
+abstraction under test pays for its own aggregation — using the same
+exact-recompute machinery as CloudMirror, so the comparison isolates the
+model + placement strategy rather than bookkeeping details.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.tag import Tag
+from repro.models.voc import VocCluster, VocModel, voc_from_tag, voc_uplink_requirement
+from repro.placement.base import Placement, PlacementResult, Rejection
+from repro.placement.ha import HaPolicy, tier_cap_left
+from repro.placement.state import TenantAllocation
+from repro.topology.ledger import Ledger
+from repro.topology.tree import Node
+
+__all__ = ["OktopusPlacer"]
+
+
+class OktopusPlacer:
+    """Places tenants by converting their TAG to a generalized VOC."""
+
+    def __init__(self, ledger: Ledger, *, ha: HaPolicy | None = None) -> None:
+        self.ledger = ledger
+        self.topology = ledger.topology
+        self.ha = ha or HaPolicy()
+
+    def place(self, tag: Tag) -> PlacementResult:
+        if tag.size > self.ledger.free_slots(self.topology.root):
+            return Rejection(tag, "not enough free VM slots in the datacenter")
+        voc = voc_from_tag(tag)
+        allocation = TenantAllocation(tag, self.ledger, voc_uplink_requirement)
+        subtree = self._find_lowest_subtree(tag)
+        while subtree is not None:
+            savepoint = allocation.savepoint()
+            if self._alloc_tenant(allocation, voc, subtree):
+                if not self.ledger.has_overcommit() and allocation.finalize(subtree):
+                    return Placement(allocation)
+            allocation.rollback(savepoint)
+            if subtree.is_root:
+                break
+            subtree = self._find_lowest_subtree(tag, subtree.level + 1)
+        return Rejection(tag, "no subtree could satisfy the VOC request")
+
+    # ------------------------------------------------------------------
+    def _find_lowest_subtree(self, tag: Tag, min_level: int = 0) -> Node | None:
+        """Lowest-level best-fit subtree with enough aggregate free slots."""
+        for level in range(min_level, self.topology.num_levels):
+            best: Node | None = None
+            for node in self.topology.level_nodes(level):
+                free = self.ledger.free_slots(node)
+                if free < tag.size:
+                    continue
+                if best is None or free < self.ledger.free_slots(best):
+                    best = node
+            if best is not None:
+                return best
+        return None
+
+    def _alloc_tenant(
+        self, allocation: TenantAllocation, voc: VocModel, subtree: Node
+    ) -> bool:
+        """Place every cluster under ``subtree``, biggest demand first."""
+        clusters = sorted(
+            voc.clusters,
+            key=lambda c: (c.size * self._cluster_bw(c), c.size),
+            reverse=True,
+        )
+        for cluster in clusters:
+            placed = self._alloc_cluster(
+                allocation, cluster, cluster.size, subtree, subtree
+            )
+            if placed < cluster.size:
+                return False
+            if self.ledger.has_overcommit():
+                return False
+        return True
+
+    @staticmethod
+    def _cluster_bw(cluster: VocCluster) -> float:
+        """Per-VM hose bandwidth the VC placement reasons about.
+
+        A VM's hose must carry its intra-cluster and inter-cluster traffic
+        (Fig. 2(b): the hose aggregates all destinations).
+        """
+        return cluster.hose_bw + max(cluster.core_out, cluster.core_in)
+
+    def _alloc_cluster(
+        self,
+        allocation: TenantAllocation,
+        cluster: VocCluster,
+        want: int,
+        node: Node,
+        ceiling: Node,
+    ) -> int:
+        """Greedy Oktopus allocation of ``want`` VMs of one cluster.
+
+        Prefers a single child that can host the whole remainder (best-fit
+        to keep large holes intact), otherwise fills children in
+        decreasing free-slot order under the hose feasibility constraint.
+        Returns the number of VMs placed.
+        """
+        if node.is_server:
+            free = node.slots - self.ledger.used_slots(node)
+            cap = tier_cap_left(self.ha, allocation, node, cluster.name)
+            count = min(want, free, cap)
+            if count <= 0:
+                return 0
+            if not allocation.place(node, cluster.name, count, ceiling):
+                return 0
+            return count
+        placed = 0
+        children = sorted(
+            node.children, key=self.ledger.free_slots, reverse=True
+        )
+        whole = [
+            c
+            for c in children
+            if self.ledger.free_slots(c) >= want
+            and self._hose_feasible(allocation, cluster, c, want)
+        ]
+        if whole:
+            target = min(whole, key=self.ledger.free_slots)
+            children = [target] + [c for c in children if c is not target]
+        for child in children:
+            if placed >= want:
+                break
+            feasible = self._max_feasible(allocation, cluster, child, want - placed)
+            if feasible <= 0:
+                continue
+            placed += self._alloc_cluster(
+                allocation, cluster, feasible, child, ceiling
+            )
+        return placed
+
+    def _hose_feasible(
+        self,
+        allocation: TenantAllocation,
+        cluster: VocCluster,
+        child: Node,
+        extra: int,
+    ) -> bool:
+        bandwidth = self._cluster_bw(cluster)
+        if bandwidth == 0.0:
+            return True
+        here = allocation.count(child, cluster.name) + extra
+        crossing = min(here, cluster.size - here) * bandwidth
+        available = min(
+            max(0.0, self.ledger.available_up(child)),
+            max(0.0, self.ledger.available_down(child)),
+        )
+        return crossing <= available
+
+    def _max_feasible(
+        self,
+        allocation: TenantAllocation,
+        cluster: VocCluster,
+        child: Node,
+        want: int,
+    ) -> int:
+        """Largest VM count placeable under ``child`` per the VC constraint.
+
+        The hose crossing ``min(m, N - m) * B`` first rises with ``m`` then
+        falls; Oktopus accepts either the low ascending range or, when the
+        remainder fits entirely, the descending range.
+        """
+        free = self.ledger.free_slots(child)
+        cap = tier_cap_left(self.ha, allocation, child, cluster.name)
+        count = min(want, free, cap)
+        if count <= 0:
+            return 0
+        if self._hose_feasible(allocation, cluster, child, count):
+            return count
+        bandwidth = self._cluster_bw(cluster)
+        here = allocation.count(child, cluster.name)
+        available = min(
+            max(0.0, self.ledger.available_up(child)),
+            max(0.0, self.ledger.available_down(child)),
+        )
+        if bandwidth == 0.0 or math.isinf(available):
+            return count
+        ascending = int(available / bandwidth) - here
+        return max(0, min(count, ascending))

@@ -1,0 +1,402 @@
+"""Per-tenant allocation state with exact uplink re-reservation.
+
+A :class:`TenantAllocation` records, for one tenant being placed (or
+already placed), how many VMs of each tier sit under every topology node.
+Whenever VMs are added to a server, the bandwidth requirement of every
+uplink on the server's root-path is *recomputed exactly* from Eq. 1 (or the
+model-specific requirement function) and the ledger is adjusted by the
+delta.  This is what lets colocation *reduce* an earlier reservation: when
+the second half of a hose tier lands in the same subtree, the subtree's
+uplink reservation drops back toward zero.
+
+Reservations below the current allocation root (``ceiling``) are enforced
+during placement; the links from the allocation root up to the tree root
+are reserved once at :meth:`finalize` (Algorithm 1 line 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from repro.core.bandwidth import BandwidthDemand, uplink_requirement
+from repro.core.tag import Tag
+from repro.errors import ReproError
+from repro.topology.ledger import Journal, Ledger
+from repro.topology.tree import Node
+
+__all__ = ["TenantAllocation", "RequirementFn", "Savepoint"]
+
+
+def _resize_tag(tag: Tag, tier: str, delta: int) -> Tag:
+    """A copy of ``tag`` with ``tier`` grown (or shrunk) by ``delta`` VMs."""
+    component = tag.component(tier)
+    if component.size is None or component.external:
+        from repro.errors import TagError
+
+        raise TagError(f"cannot resize external component {tier!r}")
+    new_size = component.size + delta
+    if new_size < 1:
+        from repro.errors import TagError
+
+        raise TagError(f"resize would leave {tier!r} with {new_size} VMs")
+    resized = Tag(tag.name)
+    for comp in tag.components.values():
+        size = new_size if comp.name == tier else comp.size
+        resized.add_component(comp.name, size, comp.external)
+    for (src, dst), edge in tag.edges.items():
+        if edge.is_self_loop:
+            resized.add_self_loop(src, edge.send)
+        else:
+            resized.add_edge(src, dst, edge.send, edge.recv)
+    return resized
+
+RequirementFn = Callable[[Tag, Mapping[str, int]], BandwidthDemand]
+
+_ZERO = BandwidthDemand(0.0, 0.0)
+
+
+@dataclass(frozen=True)
+class Savepoint:
+    """A rollback point spanning the ledger journal and the local state."""
+
+    ledger_ops: int
+    state_ops: int
+
+
+@dataclass(frozen=True)
+class _CountOp:
+    node_id: int
+    tier: str
+    delta: int
+
+
+@dataclass(frozen=True)
+class _ReservedOp:
+    node_id: int
+    prev: BandwidthDemand
+
+
+@dataclass(frozen=True)
+class _ResizeOp:
+    prev_tag: Tag
+    prev_remaining: dict[str, int]
+    prev_finalized: bool
+
+
+class TenantAllocation:
+    """Mutable placement state for one tenant.
+
+    Parameters
+    ----------
+    tag:
+        The tenant request being placed.
+    ledger:
+        The datacenter reservation ledger (shared, mutated in place).
+    requirement:
+        Uplink requirement function; defaults to the TAG Eq. 1.  The
+        Oktopus placer passes the footnote-7 VOC requirement instead so
+        that each abstraction pays for its own aggregation.
+    """
+
+    def __init__(
+        self,
+        tag: Tag,
+        ledger: Ledger,
+        requirement: RequirementFn = uplink_requirement,
+    ) -> None:
+        self.tag = tag
+        self.ledger = ledger
+        self.requirement = requirement
+        self.journal = Journal()
+        self.finalized = False
+        self._counts: dict[int, dict[str, int]] = {}
+        self._reserved: dict[int, BandwidthDemand] = {}
+        self._state_ops: list[object] = []
+        self._placed = 0
+        self._remaining = {
+            c.name: c.size for c in tag.internal_components() if c.size is not None
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def placed_vms(self) -> int:
+        return self._placed
+
+    @property
+    def is_complete(self) -> bool:
+        return self._placed == self.tag.size
+
+    def remaining(self, tier: str) -> int:
+        """VMs of ``tier`` still to place."""
+        return self._remaining[tier]
+
+    def remaining_tiers(self) -> dict[str, int]:
+        return {t: n for t, n in self._remaining.items() if n > 0}
+
+    def count(self, node: Node, tier: str) -> int:
+        """VMs of ``tier`` currently placed in the subtree under ``node``."""
+        return self._counts.get(node.node_id, {}).get(tier, 0)
+
+    def counts_under(self, node: Node) -> Mapping[str, int]:
+        return dict(self._counts.get(node.node_id, {}))
+
+    def reserved_on(self, node: Node) -> BandwidthDemand:
+        """This tenant's current reservation on ``node``'s uplink."""
+        return self._reserved.get(node.node_id, _ZERO)
+
+    def iter_server_placements(self) -> Iterator[tuple[Node, Mapping[str, int]]]:
+        """Yield ``(server, {tier: count})`` for every server used."""
+        for node_id, counts in self._counts.items():
+            node = self.ledger.topology.node(node_id)
+            if node.is_server:
+                placed = {t: n for t, n in counts.items() if n > 0}
+                if placed:
+                    yield node, placed
+
+    def iter_node_counts(self) -> Iterator[tuple[Node, Mapping[str, int]]]:
+        """Yield ``(node, {tier: count})`` for every touched node.
+
+        Used to re-account a finished placement under a *different*
+        abstraction's requirement function (Table 1's CM+VOC column).
+        """
+        for node_id, counts in self._counts.items():
+            live = {t: n for t, n in counts.items() if n > 0}
+            if live:
+                yield self.ledger.topology.node(node_id), live
+
+    def tier_spread(self, tier: str, level: int) -> dict[int, int]:
+        """Per-fault-domain VM counts of ``tier`` at ``level`` (WCS input)."""
+        spread: dict[int, int] = {}
+        for node in self.ledger.topology.level_nodes(level):
+            count = self.count(node, tier)
+            if count:
+                spread[node.node_id] = count
+        return spread
+
+    # ------------------------------------------------------------------
+    # savepoints
+    # ------------------------------------------------------------------
+    def savepoint(self) -> Savepoint:
+        return Savepoint(self.journal.savepoint(), len(self._state_ops))
+
+    def rollback(self, savepoint: Savepoint) -> None:
+        """Undo everything placed since ``savepoint`` (Algorithm 1 Dealloc)."""
+        self.ledger.rollback(self.journal, savepoint.ledger_ops)
+        while len(self._state_ops) > savepoint.state_ops:
+            op = self._state_ops.pop()
+            if isinstance(op, _CountOp):
+                counts = self._counts[op.node_id]
+                counts[op.tier] -= op.delta
+                if counts[op.tier] == 0:
+                    del counts[op.tier]
+                node = self.ledger.topology.node(op.node_id)
+                if node.is_server:
+                    self._placed -= op.delta
+                    self._remaining[op.tier] += op.delta
+            elif isinstance(op, _ReservedOp):
+                self._reserved[op.node_id] = op.prev
+            elif isinstance(op, _ResizeOp):
+                self.tag = op.prev_tag
+                self._remaining = dict(op.prev_remaining)
+                self.finalized = op.prev_finalized
+            else:  # pragma: no cover - defensive
+                raise ReproError(f"unknown state op {op!r}")
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def place(self, server: Node, tier: str, count: int, ceiling: Node) -> bool:
+        """Place ``count`` VMs of ``tier`` on ``server``.
+
+        Reserves slots and re-reserves the uplinks of every node strictly
+        below ``ceiling`` on the server's root-path.  Returns False (with
+        no effects) when the server lacks slots.  Bandwidth reservations
+        are applied *without* capacity enforcement: the placer checks
+        :meth:`repro.topology.ledger.Ledger.has_overcommit` at
+        subtree-completion boundaries and rolls back to a savepoint, which
+        mirrors Algorithm 1's per-completed-subtree ``ReserveBW``.
+        """
+        if self.finalized:
+            raise ReproError("cannot place into a finalized allocation")
+        if count <= 0:
+            raise ReproError(f"placement count must be positive, got {count}")
+        if self._remaining.get(tier, 0) < count:
+            raise ReproError(
+                f"placing {count} VMs of {tier!r} but only "
+                f"{self._remaining.get(tier, 0)} remain"
+            )
+        if not self.ledger.reserve_slots(server, count, self.journal):
+            return False
+        self._bump_counts(server, tier, count)
+        for node in self.ledger.topology.ancestors(server, include_self=True):
+            if node.node_id == ceiling.node_id:
+                break
+            self._update_reservation(node)
+        return True
+
+    def finalize(self, allocation_root: Node) -> bool:
+        """Reserve the path from ``allocation_root`` to the tree root.
+
+        Call once the whole tenant is placed under ``allocation_root``
+        (Algorithm 1 line 6).  Returns False (undoing only the root-path
+        reservations) when any link on the path lacks capacity; the caller
+        then rejects the tenant and rolls back the placement below.
+        """
+        if not self.is_complete:
+            raise ReproError("finalize() requires a complete placement")
+        savepoint = self.savepoint()
+        for node in self.ledger.topology.path_to_root(allocation_root):
+            self._update_reservation(node)
+        if self.ledger.has_overcommit():
+            self.rollback(savepoint)
+            return False
+        self.finalized = True
+        return True
+
+    def release(self) -> None:
+        """Release every slot and reservation (tenant departure)."""
+        for node_id, demand in self._reserved.items():
+            if demand.out or demand.into:
+                node = self.ledger.topology.node(node_id)
+                self.ledger.release_uplink(node, demand.out, demand.into)
+        for server, placed in list(self.iter_server_placements()):
+            self.ledger.release_slots(server, sum(placed.values()))
+        self._counts.clear()
+        self._reserved.clear()
+        self._state_ops.clear()
+        self.journal.ops.clear()
+        self._placed = 0
+
+    # ------------------------------------------------------------------
+    # auto-scaling (paper §6 extension)
+    # ------------------------------------------------------------------
+    def begin_scale_up(self, tier: str, extra: int) -> None:
+        """Start adding ``extra`` VMs to ``tier`` of a finalized tenant.
+
+        Swaps in a TAG with the grown component (tier sizes enter Eq. 1,
+        so *every* existing reservation is re-derived under the new size)
+        and reopens the allocation for placement.  Journalled: a rollback
+        to a savepoint taken before this call restores the old TAG, the
+        old reservations and the finalized flag.
+        """
+        if not self.finalized:
+            raise ReproError("scale-up requires a finalized allocation")
+        if extra <= 0:
+            raise ReproError(f"scale-up amount must be positive, got {extra}")
+        new_tag = _resize_tag(self.tag, tier, extra)
+        self._state_ops.append(
+            _ResizeOp(self.tag, dict(self._remaining), self.finalized)
+        )
+        self.tag = new_tag
+        self._remaining[tier] = self._remaining.get(tier, 0) + extra
+        self.finalized = False
+        self._refresh_all_reservations()
+
+    def finish_scale_up(self) -> bool:
+        """Seal a scale-up once the extra VMs are placed.
+
+        All reservations were maintained exactly during placement (the
+        scale-up places with the tree root as ceiling), so this only
+        checks completeness and capacity.
+        """
+        if not self.is_complete:
+            raise ReproError("finish_scale_up() requires a complete placement")
+        if self.ledger.has_overcommit():
+            return False
+        self.finalized = True
+        return True
+
+    def scale_down(self, tier: str, remove: int) -> None:
+        """Remove ``remove`` VMs of ``tier`` from a finalized tenant.
+
+        VMs leave the servers holding the fewest of the tier first (the
+        minority placements cause the most crossing).  Shrinking a TAG
+        can only lower Eq. 1's min() terms, so the re-reservation can
+        never exceed capacity and the operation always succeeds.
+        """
+        if not self.finalized:
+            raise ReproError("scale-down requires a finalized allocation")
+        component = self.tag.component(tier)
+        assert component.size is not None
+        if not 0 < remove < component.size:
+            raise ReproError(
+                f"can remove between 1 and {component.size - 1} VMs of "
+                f"{tier!r}, got {remove}"
+            )
+        holders = sorted(
+            (
+                (server, counts[tier])
+                for server, counts in self.iter_server_placements()
+                if counts.get(tier, 0) > 0
+            ),
+            key=lambda item: item[1],
+        )
+        self.tag = _resize_tag(self.tag, tier, -remove)
+        left = remove
+        for server, count in holders:
+            if left == 0:
+                break
+            take = min(count, left)
+            left -= take
+            self.ledger.release_slots(server, take)
+            for node in self.ledger.topology.ancestors(server, include_self=True):
+                counts = self._counts[node.node_id]
+                counts[tier] -= take
+                if counts[tier] == 0:
+                    del counts[tier]
+            self._placed -= take
+        assert left == 0, "holders must cover the tier"
+        self._refresh_all_reservations(journalled=False)
+
+    def _refresh_all_reservations(self, journalled: bool = True) -> None:
+        """Re-derive every touched uplink's reservation from current counts."""
+        for node_id in list(self._counts):
+            node = self.ledger.topology.node(node_id)
+            if node.is_root:
+                continue
+            required = self.requirement(self.tag, self._counts.get(node_id, {}))
+            previous = self._reserved.get(node_id, _ZERO)
+            if journalled:
+                self.ledger.adjust_uplink(
+                    node,
+                    required.out - previous.out,
+                    required.into - previous.into,
+                    self.journal,
+                    enforce=False,
+                )
+                self._state_ops.append(_ReservedOp(node_id, previous))
+            else:
+                delta_out = required.out - previous.out
+                delta_in = required.into - previous.into
+                if delta_out > 0 or delta_in > 0:
+                    raise ReproError(
+                        "scale-down unexpectedly raised a reservation"
+                    )
+                self.ledger.release_uplink(node, -delta_out, -delta_in)
+            self._reserved[node_id] = required
+
+    # ------------------------------------------------------------------
+    def _bump_counts(self, server: Node, tier: str, count: int) -> None:
+        for node in self.ledger.topology.ancestors(server, include_self=True):
+            counts = self._counts.setdefault(node.node_id, {})
+            counts[tier] = counts.get(tier, 0) + count
+            self._state_ops.append(_CountOp(node.node_id, tier, count))
+        self._placed += count
+        self._remaining[tier] -= count
+
+    def _update_reservation(self, node: Node) -> None:
+        """Recompute the requirement on ``node``'s uplink, apply the delta."""
+        required = self.requirement(self.tag, self._counts.get(node.node_id, {}))
+        previous = self._reserved.get(node.node_id, _ZERO)
+        self.ledger.adjust_uplink(
+            node,
+            required.out - previous.out,
+            required.into - previous.into,
+            self.journal,
+            enforce=False,
+        )
+        self._state_ops.append(_ReservedOp(node.node_id, previous))
+        self._reserved[node.node_id] = required

@@ -1,0 +1,72 @@
+"""Poisson tenant arrival / departure streams (paper §5 setup).
+
+"Each simulation run consists of 10,000 Poisson tenant arrivals and
+departures.  Arriving tenants are uniformly sampled at random from a pool
+of 80 tenants.  We vary the mean arrival rate (lambda) to control the
+load on a datacenter while keeping tenant dwell time (Td) fixed; the load
+is Ts * lambda * Td / (2048 x 25)" — mean tenant size times offered
+tenant-rate times dwell time over total slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.tag import Tag
+from repro.errors import SimulationError
+
+__all__ = ["Arrival", "arrival_rate_for_load", "poisson_arrivals"]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One tenant arrival: when it comes, which tenant, how long it stays."""
+
+    time: float
+    tenant_index: int
+    dwell: float
+
+
+def arrival_rate_for_load(
+    load: float, total_slots: int, mean_tenant_size: float, mean_dwell: float
+) -> float:
+    """Invert the paper's load formula: lambda = load*slots/(Ts*Td)."""
+    if not 0 < load:
+        raise SimulationError(f"load must be positive, got {load!r}")
+    if mean_tenant_size <= 0 or mean_dwell <= 0 or total_slots <= 0:
+        raise SimulationError("sizes, dwell and slots must be positive")
+    return load * total_slots / (mean_tenant_size * mean_dwell)
+
+
+def poisson_arrivals(
+    pool: Sequence[Tag],
+    count: int,
+    load: float,
+    total_slots: int,
+    *,
+    mean_dwell: float = 1.0,
+    seed: int = 0,
+) -> list[Arrival]:
+    """Sample ``count`` Poisson arrivals with exponential dwell times.
+
+    Tenants are drawn uniformly from ``pool``; inter-arrival gaps are
+    exponential with the rate implied by ``load``.
+    """
+    if not pool:
+        raise SimulationError("tenant pool is empty")
+    if count <= 0:
+        raise SimulationError(f"need a positive arrival count, got {count}")
+    rng = np.random.default_rng(seed)
+    mean_size = float(np.mean([tag.size for tag in pool]))
+    rate = arrival_rate_for_load(load, total_slots, mean_size, mean_dwell)
+    gaps = rng.exponential(1.0 / rate, size=count)
+    times = np.cumsum(gaps)
+    indices = rng.integers(0, len(pool), size=count)
+    dwells = rng.exponential(mean_dwell, size=count)
+    return [
+        Arrival(float(t), int(i), float(d))
+        for t, i, d in zip(times, indices, dwells)
+    ]

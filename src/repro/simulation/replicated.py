@@ -1,0 +1,55 @@
+"""Multi-seed replication for the stochastic experiments.
+
+One seed gives one Poisson sample path; the paper's curves are smooth
+because they aggregate long runs.  :func:`replicate` repeats a
+metric-producing run across seeds and reports mean/stdev/extremes, so
+benchmark assertions can target the mean instead of one path's noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["Replication", "replicate"]
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Summary statistics of one scalar metric across seeds."""
+
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3g} ± {self.stdev:.2g} (n={len(self.values)})"
+
+
+def replicate(
+    run: Callable[[int], float], seeds: Sequence[int]
+) -> Replication:
+    """Run ``run(seed)`` for every seed and summarize the scalar results."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    return Replication(tuple(float(run(seed)) for seed in seeds))

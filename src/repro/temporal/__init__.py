@@ -1,0 +1,19 @@
+"""Time-varying bandwidth guarantees (paper §6 extension, TIVC-style)."""
+
+from repro.temporal.admission import (
+    TemporalAdmission,
+    TemporalCluster,
+    TemporalLedger,
+    peak_equivalent,
+)
+from repro.temporal.profile import TemporalProfile, TemporalTag, diurnal_profile
+
+__all__ = [
+    "TemporalAdmission",
+    "TemporalCluster",
+    "TemporalLedger",
+    "peak_equivalent",
+    "TemporalProfile",
+    "TemporalTag",
+    "diurnal_profile",
+]

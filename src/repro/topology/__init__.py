@@ -1,0 +1,25 @@
+"""Datacenter tree topologies and the reservation ledger substrate."""
+
+from repro.topology.builder import (
+    DatacenterSpec,
+    multi_rooted_tree,
+    paper_datacenter,
+    single_rack,
+    three_level_tree,
+)
+from repro.topology.ledger import Journal, Ledger
+from repro.topology.tree import SERVER_LEVEL, Node, Topology, TopologyBuilder
+
+__all__ = [
+    "SERVER_LEVEL",
+    "DatacenterSpec",
+    "Journal",
+    "Ledger",
+    "Node",
+    "multi_rooted_tree",
+    "Topology",
+    "TopologyBuilder",
+    "paper_datacenter",
+    "single_rack",
+    "three_level_tree",
+]

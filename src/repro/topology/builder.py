@@ -1,0 +1,204 @@
+"""Ready-made datacenter topologies (paper §5 simulation setup).
+
+The paper simulates "a tree-shaped 3-level network topology inspired by a
+real cloud datacenter, with 2048 servers", 25 VM slots per server, 10 Gbps
+server uplinks and 32:8:1 oversubscription between the server, ToR and
+aggregation levels (mimicking Facebook's published datacenter numbers).
+
+:func:`three_level_tree` builds that shape parametrically; the benchmark
+defaults shrink the server count but keep the shape and oversubscription.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import TopologyError
+from repro.topology.tree import Node, Topology, TopologyBuilder
+
+__all__ = ["DatacenterSpec", "three_level_tree", "single_rack", "paper_datacenter"]
+
+# Levels of the standard 3-level tree.
+LEVEL_SERVER = 0
+LEVEL_TOR = 1
+LEVEL_AGG = 2
+LEVEL_CORE = 3
+
+
+@dataclass(frozen=True)
+class DatacenterSpec:
+    """Parameters of the standard 3-level oversubscribed datacenter.
+
+    ``tor_oversub`` is the ratio between a rack's aggregate server
+    bandwidth and the ToR uplink; ``agg_oversub`` between a pod's aggregate
+    ToR-uplink bandwidth and the agg uplink.  The paper's 32:8:1 topology
+    corresponds to ``tor_oversub=4`` and ``agg_oversub=8`` (32/8 and 8/1).
+    """
+
+    servers_per_rack: int = 32
+    racks_per_pod: int = 8
+    pods: int = 8
+    slots_per_server: int = 25
+    server_uplink: float = 10_000.0  # 10 Gbps in Mbps
+    tor_oversub: float = 4.0
+    agg_oversub: float = 8.0
+
+    def __post_init__(self) -> None:
+        if min(self.servers_per_rack, self.racks_per_pod, self.pods) < 1:
+            raise TopologyError("datacenter dimensions must be >= 1")
+        if self.slots_per_server < 1:
+            raise TopologyError("slots_per_server must be >= 1")
+        if self.server_uplink <= 0:
+            raise TopologyError("server_uplink must be positive")
+        if self.tor_oversub < 1 or self.agg_oversub < 1:
+            raise TopologyError("oversubscription factors must be >= 1")
+
+    @property
+    def num_servers(self) -> int:
+        return self.servers_per_rack * self.racks_per_pod * self.pods
+
+    @property
+    def total_slots(self) -> int:
+        return self.num_servers * self.slots_per_server
+
+    @property
+    def tor_uplink(self) -> float:
+        if math.isinf(self.server_uplink):
+            return math.inf
+        return self.servers_per_rack * self.server_uplink / self.tor_oversub
+
+    @property
+    def agg_uplink(self) -> float:
+        if math.isinf(self.server_uplink):
+            return math.inf
+        return self.racks_per_pod * self.tor_uplink / self.agg_oversub
+
+    @property
+    def total_oversubscription(self) -> float:
+        """End-to-end server-to-core oversubscription (Fig. 9 x-axis)."""
+        return self.tor_oversub * self.agg_oversub
+
+
+def three_level_tree(spec: DatacenterSpec, *, unlimited: bool = False) -> Topology:
+    """Build the standard server / ToR / agg / core tree from a spec.
+
+    With ``unlimited=True`` the enforced capacities become infinite (the
+    idealized Table 1 topology) while the spec's real values remain as the
+    *nominal* capacities that placement heuristics reason about.
+    """
+    builder = TopologyBuilder()
+
+    def capacity(value: float) -> float:
+        return math.inf if unlimited else value
+
+    core = builder.switch("core", LEVEL_CORE)
+    for pod in range(spec.pods):
+        agg = Node(
+            builder._take_id(),
+            f"agg-{pod}",
+            LEVEL_AGG,
+            0,
+            capacity(spec.agg_uplink),
+            capacity(spec.agg_uplink),
+            spec.agg_uplink,
+            spec.agg_uplink,
+        )
+        TopologyBuilder.attach(core, agg)
+        for rack in range(spec.racks_per_pod):
+            tor = Node(
+                builder._take_id(),
+                f"tor-{pod}-{rack}",
+                LEVEL_TOR,
+                0,
+                capacity(spec.tor_uplink),
+                capacity(spec.tor_uplink),
+                spec.tor_uplink,
+                spec.tor_uplink,
+            )
+            TopologyBuilder.attach(agg, tor)
+            for index in range(spec.servers_per_rack):
+                server = Node(
+                    builder._take_id(),
+                    f"srv-{pod}-{rack}-{index}",
+                    LEVEL_SERVER,
+                    spec.slots_per_server,
+                    capacity(spec.server_uplink),
+                    capacity(spec.server_uplink),
+                    spec.server_uplink,
+                    spec.server_uplink,
+                )
+                TopologyBuilder.attach(tor, server)
+    return Topology(core)
+
+
+def multi_rooted_tree(spec: DatacenterSpec, cores: int = 4) -> Topology:
+    """A multi-rooted (k-core) datacenter as a logical single-root tree.
+
+    Paper §4: "For simplicity, we describe our algorithm assuming a
+    single-rooted tree, however our algorithm can similarly be applied to
+    a multi-rooted tree."  With ECMP spreading traffic evenly over the
+    ``cores`` core switches, the bandwidth available between two pods is
+    the *sum* of the per-core paths, so for reservation accounting the
+    multi-root collapses to one logical core whose agg uplinks carry
+    ``cores`` times the per-core capacity.  That collapsed tree is what
+    this builder constructs; the placement algorithms run on it
+    unchanged.
+    """
+    if cores < 1:
+        raise TopologyError("need at least one core switch")
+    fattened = DatacenterSpec(
+        servers_per_rack=spec.servers_per_rack,
+        racks_per_pod=spec.racks_per_pod,
+        pods=spec.pods,
+        slots_per_server=spec.slots_per_server,
+        server_uplink=spec.server_uplink,
+        tor_oversub=spec.tor_oversub,
+        # Each of the `cores` planes carries agg_uplink; the logical
+        # aggregate divides the oversubscription accordingly (floored so
+        # the spec invariant oversub >= 1 holds).
+        agg_oversub=max(1.0, spec.agg_oversub / cores),
+    )
+    return three_level_tree(fattened)
+
+
+def single_rack(
+    servers: int = 4, slots_per_server: int = 2, nic_mbps: float = 10.0
+) -> Topology:
+    """The tiny rack of paper Fig. 6 (used by tests and examples)."""
+    builder = TopologyBuilder()
+    tor = builder.switch("tor", LEVEL_TOR)
+    for index in range(servers):
+        server = builder.server(
+            f"srv-{index}", slots_per_server, nic_mbps, nic_mbps
+        )
+        TopologyBuilder.attach(tor, server)
+    return Topology(tor)
+
+
+def paper_datacenter(
+    *,
+    scale: float = 1.0,
+    slots_per_server: int = 25,
+    oversubscription: tuple[float, float] = (4.0, 8.0),
+    unlimited: bool = False,
+) -> Topology:
+    """The §5 simulation datacenter, optionally scaled down.
+
+    ``scale=1.0`` gives the paper's 2048 servers; ``scale=0.125`` gives 256
+    servers with the same shape.  ``unlimited=True`` removes all capacity
+    constraints (the idealized topology of Table 1).
+    """
+    if scale <= 0:
+        raise TopologyError("scale must be positive")
+    pods = max(1, round(8 * scale))
+    spec = DatacenterSpec(
+        servers_per_rack=32,
+        racks_per_pod=8,
+        pods=pods,
+        slots_per_server=slots_per_server,
+        server_uplink=10_000.0,
+        tor_oversub=oversubscription[0],
+        agg_oversub=oversubscription[1],
+    )
+    return three_level_tree(spec, unlimited=unlimited)

@@ -1,0 +1,15 @@
+"""End-to-end validation: reservations vs. admissible traffic (Eq. 1)."""
+
+from repro.validation.traffic_check import (
+    VmIndex,
+    link_loads,
+    sample_admissible_matrix,
+    validate_allocation,
+)
+
+__all__ = [
+    "VmIndex",
+    "link_loads",
+    "sample_admissible_matrix",
+    "validate_allocation",
+]

@@ -1,0 +1,34 @@
+"""Workload substrates: tenant pools, patterns, scaling, survey data."""
+
+from repro.workloads import patterns
+from repro.workloads.bing import bing_pool, pool_statistics
+from repro.workloads.hpcloud import hpcloud_pool
+from repro.workloads.scaling import pool_scale_factor, scale_pool
+from repro.workloads.store import dump_pool, load_pool, pool_from_json, pool_to_json
+from repro.workloads.survey import (
+    DATACENTERS,
+    WORKLOADS,
+    DatacenterProvision,
+    WorkloadRatio,
+    datacenter_ratios,
+)
+from repro.workloads.synthetic import synthetic_pool
+
+__all__ = [
+    "DATACENTERS",
+    "WORKLOADS",
+    "DatacenterProvision",
+    "WorkloadRatio",
+    "bing_pool",
+    "datacenter_ratios",
+    "dump_pool",
+    "load_pool",
+    "pool_from_json",
+    "pool_to_json",
+    "hpcloud_pool",
+    "patterns",
+    "pool_scale_factor",
+    "pool_statistics",
+    "scale_pool",
+    "synthetic_pool",
+]

@@ -1,0 +1,156 @@
+"""TAG builders for the application structures the paper discusses.
+
+The bing.com dataset is described (§5) as services with "a diverse range
+of job types (interactive web services or batch data-processing) and
+communication patterns (e.g., linear, star, ring, mesh ...), and some have
+large intra-service demands (similar to MapReduce)".  These builders
+produce each of those shapes, plus the paper's worked examples: the
+three-tier web application (Fig. 2) and the Storm pipeline (Fig. 3).
+
+All guarantees are per-VM values in Mbps (or the workload's relative
+units, scaled later via :mod:`repro.workloads.scaling`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.tag import Tag
+from repro.errors import TagError
+
+__all__ = [
+    "three_tier",
+    "storm",
+    "linear_chain",
+    "star",
+    "ring",
+    "mesh",
+    "mapreduce",
+]
+
+
+def _tier_names(count: int) -> list[str]:
+    return [f"tier{i}" for i in range(count)]
+
+
+def three_tier(
+    name: str,
+    sizes: tuple[int, int, int],
+    b1: float,
+    b2: float,
+    b3: float,
+) -> Tag:
+    """The Fig. 2(a) web application.
+
+    ``b1`` = web<->logic per-VM guarantee, ``b2`` = logic<->db, ``b3`` =
+    the DB tier's internal (consistency) hose.
+    """
+    tag = Tag(name)
+    tag.add_component("web", sizes[0])
+    tag.add_component("logic", sizes[1])
+    tag.add_component("db", sizes[2])
+    tag.add_undirected_edge("web", "logic", b1, b1)
+    tag.add_undirected_edge("logic", "db", b2, b2)
+    if b3 > 0:
+        tag.add_self_loop("db", b3)
+    return tag
+
+
+def storm(name: str, size: int, bandwidth: float) -> Tag:
+    """The Fig. 3(a) Storm pipeline: Spout1 -> {Bolt1, Bolt2}, Bolt2 -> Bolt3.
+
+    Each component has ``size`` VMs; every communicating pair uses per-VM
+    outgoing bandwidth ``bandwidth`` (so Spout1 sends ``2B`` total).  No
+    intra-component traffic — the property that defeats the VOC model.
+    """
+    tag = Tag(name)
+    for component in ("spout1", "bolt1", "bolt2", "bolt3"):
+        tag.add_component(component, size)
+    tag.add_edge("spout1", "bolt1", bandwidth, bandwidth)
+    tag.add_edge("spout1", "bolt2", bandwidth, bandwidth)
+    tag.add_edge("bolt2", "bolt3", bandwidth, bandwidth)
+    return tag
+
+
+def linear_chain(
+    name: str, sizes: Sequence[int], bandwidths: Sequence[float]
+) -> Tag:
+    """Tiers in a line, symmetric edges between neighbours."""
+    if len(bandwidths) != len(sizes) - 1:
+        raise TagError("linear chain needs len(sizes) - 1 bandwidths")
+    tag = Tag(name)
+    names = _tier_names(len(sizes))
+    for tier, size in zip(names, sizes):
+        tag.add_component(tier, size)
+    for i, bandwidth in enumerate(bandwidths):
+        tag.add_undirected_edge(names[i], names[i + 1], bandwidth, bandwidth)
+    return tag
+
+
+def star(
+    name: str,
+    hub_size: int,
+    leaf_sizes: Sequence[int],
+    bandwidths: Sequence[float],
+) -> Tag:
+    """A hub tier talking to every leaf tier."""
+    if len(bandwidths) != len(leaf_sizes):
+        raise TagError("star needs one bandwidth per leaf")
+    tag = Tag(name)
+    tag.add_component("hub", hub_size)
+    for i, (size, bandwidth) in enumerate(zip(leaf_sizes, bandwidths)):
+        leaf = f"leaf{i}"
+        tag.add_component(leaf, size)
+        tag.add_undirected_edge("hub", leaf, bandwidth, bandwidth)
+    return tag
+
+
+def ring(name: str, sizes: Sequence[int], bandwidths: Sequence[float]) -> Tag:
+    """Tiers in a cycle (each talks to the next, wrapping around)."""
+    if len(sizes) < 3:
+        raise TagError("a ring needs at least 3 tiers")
+    if len(bandwidths) != len(sizes):
+        raise TagError("ring needs one bandwidth per tier")
+    tag = Tag(name)
+    names = _tier_names(len(sizes))
+    for tier, size in zip(names, sizes):
+        tag.add_component(tier, size)
+    for i, bandwidth in enumerate(bandwidths):
+        tag.add_undirected_edge(names[i], names[(i + 1) % len(names)], bandwidth, bandwidth)
+    return tag
+
+
+def mesh(name: str, sizes: Sequence[int], bandwidth: float) -> Tag:
+    """Every tier pair communicates with the same per-VM guarantee."""
+    if len(sizes) < 2:
+        raise TagError("a mesh needs at least 2 tiers")
+    tag = Tag(name)
+    names = _tier_names(len(sizes))
+    for tier, size in zip(names, sizes):
+        tag.add_component(tier, size)
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            tag.add_undirected_edge(names[i], names[j], bandwidth, bandwidth)
+    return tag
+
+
+def mapreduce(
+    name: str,
+    mappers: int,
+    reducers: int,
+    shuffle_bw: float,
+    intra_bw: float = 0.0,
+) -> Tag:
+    """A batch job: mappers shuffle to reducers, optional intra hoses.
+
+    ``intra_bw > 0`` adds self-loops modelling the "large intra-service
+    demands (similar to MapReduce)" in the bing pool.
+    """
+    tag = Tag(name)
+    tag.add_component("map", mappers)
+    tag.add_component("reduce", reducers)
+    tag.add_edge("map", "reduce", shuffle_bw, shuffle_bw * mappers / reducers)
+    if intra_bw > 0:
+        tag.add_self_loop("map", intra_bw)
+        tag.add_self_loop("reduce", intra_bw)
+    return tag

@@ -1,0 +1,34 @@
+"""B_max demand scaling (paper §5.1).
+
+"The bandwidth values in the bing.com workload dataset are relative, not
+absolute.  We scale the bandwidth values such that the average per-VM
+demand (B_vm) of the tenant with the largest B_vm becomes the target
+per-VM bandwidth (B_max)."
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.tag import Tag
+from repro.errors import SimulationError
+
+__all__ = ["scale_pool", "pool_scale_factor"]
+
+
+def pool_scale_factor(pool: Sequence[Tag], bmax: float) -> float:
+    """The single factor that maps the pool's relative demands to Mbps."""
+    if not pool:
+        raise SimulationError("cannot scale an empty pool")
+    if bmax <= 0:
+        raise SimulationError(f"B_max must be positive, got {bmax!r}")
+    largest = max(tag.mean_per_vm_demand() for tag in pool)
+    if largest <= 0:
+        raise SimulationError("pool has no bandwidth demand to scale")
+    return bmax / largest
+
+
+def scale_pool(pool: Sequence[Tag], bmax: float) -> list[Tag]:
+    """Scale every tenant by the common :func:`pool_scale_factor`."""
+    factor = pool_scale_factor(pool, bmax)
+    return [tag.scaled(factor) for tag in pool]

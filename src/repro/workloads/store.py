@@ -1,0 +1,49 @@
+"""Persist tenant pools to JSON (reproducible experiment inputs).
+
+A pool file is a versioned JSON array of TAG documents (see
+:mod:`repro.core.serialize`), so a generated workload can be frozen,
+shared, and reloaded byte-for-byte — the practical replacement for
+shipping the proprietary bing dataset.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.serialize import tag_from_dict, tag_to_dict
+from repro.core.tag import Tag
+from repro.errors import SimulationError
+
+__all__ = ["dump_pool", "load_pool", "pool_to_json", "pool_from_json"]
+
+FORMAT = "repro-pool-v1"
+
+
+def pool_to_json(pool: Sequence[Tag], *, indent: int | None = 2) -> str:
+    document = {
+        "format": FORMAT,
+        "tenants": [tag_to_dict(tag) for tag in pool],
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def pool_from_json(document: str) -> list[Tag]:
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"invalid pool JSON: {exc}") from None
+    if not isinstance(data, dict) or data.get("format") != FORMAT:
+        raise SimulationError(
+            f"unsupported pool document; expected format {FORMAT!r}"
+        )
+    return [tag_from_dict(entry) for entry in data.get("tenants", [])]
+
+
+def dump_pool(pool: Sequence[Tag], path: str | Path) -> None:
+    Path(path).write_text(pool_to_json(pool))
+
+
+def load_pool(path: str | Path) -> list[Tag]:
+    return pool_from_json(Path(path).read_text())

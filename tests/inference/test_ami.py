@@ -1,0 +1,82 @@
+"""Tests for the from-scratch adjusted mutual information."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import InferenceError
+from repro.inference.ami import ami, entropy, expected_mutual_information, mutual_information
+
+
+class TestEntropy:
+    def test_uniform(self):
+        assert entropy([0, 1]) == pytest.approx(math.log(2))
+        assert entropy([0, 0, 1, 1, 2, 2]) == pytest.approx(math.log(3))
+
+    def test_single_cluster_zero(self):
+        assert entropy([0, 0, 0]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(InferenceError):
+            entropy([])
+
+
+class TestMutualInformation:
+    def test_identical_labellings(self):
+        labels = [0, 0, 1, 1, 2, 2]
+        assert mutual_information(labels, labels) == pytest.approx(
+            entropy(labels)
+        )
+
+    def test_independent_labellings(self):
+        a = [0, 0, 1, 1]
+        b = [0, 1, 0, 1]
+        assert mutual_information(a, b) == pytest.approx(0.0, abs=1e-12)
+
+    def test_permutation_invariant(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [2, 2, 0, 0, 1, 1]
+        assert mutual_information(a, b) == pytest.approx(entropy(a))
+
+    def test_length_mismatch(self):
+        with pytest.raises(InferenceError):
+            mutual_information([0], [0, 1])
+
+
+class TestAmi:
+    def test_identical_is_one(self):
+        labels = [0, 0, 1, 1, 2, 2, 2]
+        assert ami(labels, labels) == pytest.approx(1.0)
+
+    def test_permutation_is_one(self):
+        a = [0, 0, 1, 1]
+        b = [1, 1, 0, 0]
+        assert ami(a, b) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        a = [0, 0, 0, 0, 1, 1, 1, 1] * 4
+        b = [0, 1] * 16
+        assert abs(ami(a, b)) < 0.1
+
+    def test_single_cluster_vs_split(self):
+        # One labelling all-in-one: MI = 0, entropy mean > 0 -> AMI <= 0.
+        a = [0] * 8
+        b = [0, 1] * 4
+        assert ami(a, b) <= 0.0 + 1e-9
+
+    def test_both_trivial(self):
+        assert ami([0, 0], [0, 0]) == 1.0
+
+    def test_emi_between_zero_and_mi_bound(self):
+        a = [0, 0, 1, 1, 2, 2]
+        b = [0, 1, 0, 1, 0, 1]
+        emi = expected_mutual_information(a, b)
+        assert 0.0 <= emi <= max(entropy(a), entropy(b)) + 1e-9
+
+    def test_ami_below_one_for_partial_agreement(self):
+        a = [0, 0, 0, 1, 1, 1]
+        b = [0, 0, 1, 1, 1, 1]
+        score = ami(a, b)
+        assert 0.0 < score < 1.0

@@ -1,0 +1,100 @@
+"""Property-based tests for the inference substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inference.ami import ami, entropy, mutual_information
+from repro.inference.louvain import louvain_communities, modularity
+
+labellings = st.lists(st.integers(0, 4), min_size=2, max_size=40)
+
+
+@given(labellings)
+@settings(max_examples=150, deadline=None)
+def test_ami_self_is_one_or_trivial(labels):
+    score = ami(labels, labels)
+    if len(set(labels)) == 1:
+        assert score == 1.0
+    else:
+        assert score == 1.0 or math.isclose(score, 1.0, abs_tol=1e-9)
+
+
+@given(labellings, st.randoms(use_true_random=False))
+@settings(max_examples=100, deadline=None)
+def test_ami_invariant_under_relabelling(labels, rng):
+    names = list(set(labels))
+    shuffled = list(names)
+    rng.shuffle(shuffled)
+    mapping = dict(zip(names, shuffled))
+    relabelled = [mapping[label] for label in labels]
+    assert math.isclose(
+        ami(labels, relabelled), 1.0, abs_tol=1e-9
+    )
+
+
+@given(labellings, labellings)
+@settings(max_examples=100, deadline=None)
+def test_ami_symmetric(a, b):
+    size = min(len(a), len(b))
+    a, b = a[:size], b[:size]
+    assert math.isclose(ami(a, b), ami(b, a), abs_tol=1e-9)
+
+
+@given(labellings, labellings)
+@settings(max_examples=100, deadline=None)
+def test_mi_bounded_by_entropies(a, b):
+    size = min(len(a), len(b))
+    a, b = a[:size], b[:size]
+    mi = mutual_information(a, b)
+    assert mi <= min(entropy(a), entropy(b)) + 1e-9
+    assert mi >= 0.0
+
+
+@st.composite
+def weighted_graphs(draw):
+    nodes = draw(st.integers(2, 12))
+    edges = {}
+    for i in range(nodes):
+        for j in range(i + 1, nodes):
+            if draw(st.booleans()):
+                edges[(i, j)] = draw(st.floats(0.01, 10.0, allow_nan=False))
+    return nodes, edges
+
+
+@given(weighted_graphs(), st.integers(0, 3))
+@settings(max_examples=100, deadline=None)
+def test_louvain_labels_valid_and_deterministic(case, seed):
+    nodes, edges = case
+    labels = louvain_communities(edges, nodes, seed=seed)
+    assert len(labels) == nodes
+    assert set(labels) == set(range(len(set(labels))))
+    again = louvain_communities(edges, nodes, seed=seed)
+    assert labels == again
+
+
+@given(weighted_graphs())
+@settings(max_examples=75, deadline=None)
+def test_louvain_at_least_as_good_as_singletons(case):
+    nodes, edges = case
+    labels = louvain_communities(edges, nodes, seed=0)
+    quality = modularity(edges, labels, nodes)
+    singleton_quality = modularity(edges, list(range(nodes)), nodes)
+    assert quality >= singleton_quality - 1e-9
+
+
+@given(weighted_graphs(), st.integers(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_louvain_beats_random_partitions(case, seed):
+    nodes, edges = case
+    if not edges:
+        return
+    labels = louvain_communities(edges, nodes, seed=0)
+    quality = modularity(edges, labels, nodes)
+    rng = random.Random(seed)
+    random_labels = [rng.randrange(3) for _ in range(nodes)]
+    assert modularity(edges, random_labels, nodes) <= quality + 1e-9

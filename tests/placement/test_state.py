@@ -1,0 +1,157 @@
+"""Tests for TenantAllocation: counts, exact re-reservation, rollback."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tag import Tag
+from repro.errors import ReproError
+from repro.placement.state import TenantAllocation
+from repro.topology.ledger import Ledger
+
+
+@pytest.fixture
+def hose_tag() -> Tag:
+    return Tag.hose("h", size=4, bandwidth=100.0)
+
+
+class TestPlacement:
+    def test_place_updates_counts_everywhere(self, small_ledger, hose_tag):
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        topology = small_ledger.topology
+        server = topology.servers[0]
+        assert allocation.place(server, "all", 2, topology.root)
+        assert allocation.count(server, "all") == 2
+        tor = server.parent
+        assert allocation.count(tor, "all") == 2
+        assert allocation.count(topology.root, "all") == 2
+        assert allocation.placed_vms == 2
+        assert allocation.remaining("all") == 2
+
+    def test_exact_hose_reservation_rises_then_falls(
+        self, small_ledger, hose_tag
+    ):
+        """The signature property: colocating the second half of a hose
+        tier *reduces* the subtree reservation back to zero."""
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        topology = small_ledger.topology
+        tor = topology.level_nodes(1)[0]
+        servers = list(topology.servers_under(tor))
+        allocation.place(servers[0], "all", 2, topology.root)
+        # Half inside the rack: ToR uplink must carry min(2,2)*100 = 200.
+        assert allocation.reserved_on(tor).out == pytest.approx(200.0)
+        allocation.place(servers[1], "all", 2, topology.root)
+        # Whole tier inside: crossing drops to zero.
+        assert allocation.reserved_on(tor).out == pytest.approx(0.0)
+        assert small_ledger.reserved_up(tor) == pytest.approx(0.0)
+
+    def test_server_reservation_respects_colocation(
+        self, small_ledger, hose_tag
+    ):
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        topology = small_ledger.topology
+        server = topology.servers[0]
+        allocation.place(server, "all", 4, topology.root)
+        # Whole hose on one server: no uplink bandwidth needed at all.
+        assert small_ledger.reserved_up(server) == pytest.approx(0.0)
+
+    def test_slot_shortage_returns_false(self, small_ledger, hose_tag):
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        server = small_ledger.topology.servers[0]  # 4 slots
+        assert allocation.place(server, "all", 4, small_ledger.topology.root)
+        fresh = TenantAllocation(hose_tag, small_ledger)
+        assert not fresh.place(server, "all", 1, small_ledger.topology.root)
+
+    def test_overplacement_raises(self, small_ledger, hose_tag):
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        server = small_ledger.topology.servers[0]
+        with pytest.raises(ReproError):
+            allocation.place(server, "all", 5, small_ledger.topology.root)
+
+    def test_ceiling_limits_reservation_scope(self, small_ledger, hose_tag):
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        topology = small_ledger.topology
+        tor = topology.level_nodes(1)[0]
+        server = next(iter(topology.servers_under(tor)))
+        allocation.place(server, "all", 2, ceiling=tor)
+        # Below the ceiling: server uplink reserved; at/above: nothing yet.
+        assert small_ledger.reserved_up(server) == pytest.approx(200.0)
+        assert small_ledger.reserved_up(tor) == pytest.approx(0.0)
+
+
+class TestFinalize:
+    def test_finalize_reserves_root_path(self, small_ledger, hose_tag):
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        topology = small_ledger.topology
+        tor = topology.level_nodes(1)[0]
+        servers = list(topology.servers_under(tor))
+        allocation.place(servers[0], "all", 2, ceiling=tor)
+        allocation.place(servers[1], "all", 2, ceiling=tor)
+        assert allocation.is_complete
+        assert allocation.finalize(tor)
+        # Whole tenant under the ToR: ToR and agg uplinks carry zero.
+        assert small_ledger.reserved_up(tor) == pytest.approx(0.0)
+        assert allocation.finalized
+
+    def test_finalize_requires_completeness(self, small_ledger, hose_tag):
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        with pytest.raises(ReproError):
+            allocation.finalize(small_ledger.topology.root)
+
+    def test_place_after_finalize_raises(self, small_ledger, hose_tag):
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        topology = small_ledger.topology
+        server = topology.servers[0]
+        allocation.place(server, "all", 4, server)
+        allocation.finalize(server)
+        with pytest.raises(ReproError):
+            allocation.place(topology.servers[1], "all", 1, server)
+
+
+class TestRollbackAndRelease:
+    def test_rollback_restores_all_state(self, small_ledger, hose_tag):
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        topology = small_ledger.topology
+        server = topology.servers[0]
+        savepoint = allocation.savepoint()
+        allocation.place(server, "all", 3, topology.root)
+        allocation.rollback(savepoint)
+        assert allocation.placed_vms == 0
+        assert allocation.remaining("all") == 4
+        assert allocation.count(server, "all") == 0
+        assert small_ledger.used_slots(server) == 0
+        assert small_ledger.reserved_up(server) == pytest.approx(0.0)
+
+    def test_release_returns_everything(self, small_ledger, hose_tag):
+        allocation = TenantAllocation(hose_tag, small_ledger)
+        topology = small_ledger.topology
+        tor = topology.level_nodes(1)[0]
+        servers = list(topology.servers_under(tor))
+        allocation.place(servers[0], "all", 2, tor)
+        allocation.place(servers[1], "all", 2, tor)
+        allocation.finalize(tor)
+        allocation.release()
+        assert small_ledger.free_slots(topology.root) == 512
+        for level in range(3):
+            assert small_ledger.reserved_at_level(level) == pytest.approx(0.0)
+
+    def test_iter_server_placements(self, small_ledger, three_tier_tag):
+        allocation = TenantAllocation(three_tier_tag, small_ledger)
+        topology = small_ledger.topology
+        allocation.place(topology.servers[0], "web", 2, topology.root)
+        allocation.place(topology.servers[0], "logic", 1, topology.root)
+        allocation.place(topology.servers[1], "db", 3, topology.root)
+        placements = dict(
+            (server.name, dict(counts))
+            for server, counts in allocation.iter_server_placements()
+        )
+        assert placements[topology.servers[0].name] == {"web": 2, "logic": 1}
+        assert placements[topology.servers[1].name] == {"db": 3}
+
+    def test_tier_spread(self, small_ledger, three_tier_tag):
+        allocation = TenantAllocation(three_tier_tag, small_ledger)
+        topology = small_ledger.topology
+        allocation.place(topology.servers[0], "web", 3, topology.root)
+        allocation.place(topology.servers[1], "web", 1, topology.root)
+        spread = allocation.tier_spread("web", level=0)
+        assert sorted(spread.values()) == [1, 3]

@@ -1,0 +1,72 @@
+"""Tests for the Poisson arrival stream and the load formula."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tag import Tag
+from repro.errors import SimulationError
+from repro.simulation.arrivals import (
+    arrival_rate_for_load,
+    poisson_arrivals,
+)
+
+
+def _pool():
+    tags = []
+    for i, size in enumerate((10, 20, 30)):
+        tag = Tag(f"t{i}")
+        tag.add_component("app", size)
+        tag.add_self_loop("app", 10.0)
+        tags.append(tag)
+    return tags
+
+
+class TestLoadFormula:
+    def test_paper_formula_inversion(self):
+        # load = Ts * lambda * Td / slots  =>  lambda = load*slots/(Ts*Td)
+        rate = arrival_rate_for_load(0.5, total_slots=51200, mean_tenant_size=57, mean_dwell=1.0)
+        assert rate == pytest.approx(0.5 * 51200 / 57)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            arrival_rate_for_load(0.0, 100, 10, 1.0)
+        with pytest.raises(SimulationError):
+            arrival_rate_for_load(0.5, 100, 0, 1.0)
+
+
+class TestPoissonArrivals:
+    def test_count_and_monotone_times(self):
+        arrivals = poisson_arrivals(_pool(), 100, 0.5, 1000, seed=3)
+        assert len(arrivals) == 100
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(a.dwell > 0 for a in arrivals)
+
+    def test_uniform_tenant_sampling(self):
+        arrivals = poisson_arrivals(_pool(), 3000, 0.5, 1000, seed=3)
+        counts = np.bincount([a.tenant_index for a in arrivals], minlength=3)
+        assert counts.min() > 800  # roughly uniform over 3 tenants
+
+    def test_mean_interarrival_matches_rate(self):
+        pool = _pool()
+        load, slots = 0.5, 1000
+        arrivals = poisson_arrivals(pool, 5000, load, slots, seed=1)
+        mean_size = np.mean([t.size for t in pool])
+        expected_gap = mean_size / (load * slots)
+        gaps = np.diff([0.0] + [a.time for a in arrivals])
+        assert np.mean(gaps) == pytest.approx(expected_gap, rel=0.1)
+
+    def test_deterministic_by_seed(self):
+        a = poisson_arrivals(_pool(), 50, 0.5, 1000, seed=9)
+        b = poisson_arrivals(_pool(), 50, 0.5, 1000, seed=9)
+        assert [(x.time, x.tenant_index) for x in a] == [
+            (x.time, x.tenant_index) for x in b
+        ]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            poisson_arrivals([], 10, 0.5, 1000)
+        with pytest.raises(SimulationError):
+            poisson_arrivals(_pool(), 0, 0.5, 1000)

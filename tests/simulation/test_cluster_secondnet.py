@@ -1,0 +1,48 @@
+"""ClusterManager driving the SecondNet placer (pipe allocations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tag import Tag
+from repro.placement.base import Placement
+from repro.placement.secondnet import SecondNetPlacer
+from repro.simulation.cluster import ClusterManager
+from repro.topology.ledger import Ledger
+
+
+@pytest.fixture
+def manager(small_datacenter):
+    ledger = Ledger(small_datacenter)
+    return ClusterManager(ledger, SecondNetPlacer(ledger)), ledger
+
+
+def _tenant(size: int = 6) -> Tag:
+    tag = Tag("t")
+    tag.add_component("a", size // 2)
+    tag.add_component("b", size - size // 2)
+    tag.add_edge("a", "b", 40.0, 40.0)
+    return tag
+
+
+class TestSecondNetUnderManager:
+    def test_admit_and_depart(self, manager):
+        mgr, ledger = manager
+        result = mgr.admit(_tenant())
+        assert isinstance(result, Placement)
+        assert mgr.metrics.tenants_total == 1
+        mgr.depart(result.allocation)
+        assert ledger.free_slots(ledger.topology.root) == 512
+        assert ledger.reserved_at_level(0) == pytest.approx(0.0)
+
+    def test_wcs_sampled_from_pipe_allocation(self, manager):
+        mgr, _ = manager
+        mgr.admit(_tenant(8))
+        # PipeAllocation exposes tier_spread, so WCS sampling works.
+        assert len(mgr.metrics.wcs.values) == 2
+
+    def test_utilization_sampled(self, manager):
+        mgr, _ = manager
+        mgr.admit(_tenant())
+        assert len(mgr.metrics.utilization) == 1
+        assert mgr.metrics.utilization[0].slot_fraction > 0.0

@@ -1,0 +1,65 @@
+"""Tests for multi-seed replication."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.replicated import Replication, replicate
+
+
+class TestReplication:
+    def test_statistics(self):
+        rep = Replication((1.0, 2.0, 3.0))
+        assert rep.mean == pytest.approx(2.0)
+        assert rep.stdev == pytest.approx(1.0)
+        assert rep.minimum == 1.0
+        assert rep.maximum == 3.0
+
+    def test_single_value_has_zero_stdev(self):
+        rep = Replication((5.0,))
+        assert rep.stdev == 0.0
+
+    def test_str(self):
+        assert "n=2" in str(Replication((1.0, 2.0)))
+
+
+class TestReplicate:
+    def test_calls_run_per_seed(self):
+        seen = []
+
+        def run(seed: int) -> float:
+            seen.append(seed)
+            return float(seed * 2)
+
+        rep = replicate(run, [1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert rep.values == (2.0, 4.0, 6.0)
+
+    def test_empty_seed_list_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(lambda s: 0.0, [])
+
+    def test_with_simulation(self):
+        """End-to-end: replicate a tiny rejection simulation."""
+        from repro.simulation import simulate_rejections
+        from repro.topology.builder import DatacenterSpec
+        from repro.workloads.bing import bing_pool
+
+        pool = [t for t in bing_pool() if t.size <= 30][:10]
+        spec = DatacenterSpec(
+            servers_per_rack=8, racks_per_pod=2, pods=2, slots_per_server=8
+        )
+
+        def run(seed: int) -> float:
+            return simulate_rejections(
+                pool,
+                "cm",
+                load=0.6,
+                bmax=500.0,
+                spec=spec,
+                arrivals=60,
+                seed=seed,
+            ).bw_rejection_rate
+
+        rep = replicate(run, [0, 1])
+        assert 0.0 <= rep.mean <= 1.0

@@ -1,0 +1,42 @@
+"""Smoke tests: the (fast) example scripts must run end-to-end.
+
+The slower simulation examples (`datacenter_simulation.py`,
+`time_varying_guarantees.py`) are exercised by the equivalent benchmark
+instead — see benchmarks/.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "abstraction_comparison.py",
+    "ha_placement.py",
+    "autoscaling.py",
+    "infer_tag_from_traffic.py",
+    "enforcement_dynamics.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_all_examples_exist():
+    listed = set(FAST_EXAMPLES) | {
+        "datacenter_simulation.py",
+        "time_varying_guarantees.py",
+    }
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert listed == on_disk

@@ -1,0 +1,75 @@
+"""The public API surface: imports, exports, version, error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestTopLevelExports:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_docstring_example_works(self):
+        from repro import CloudMirrorPlacer, Ledger, Placement, Tag, paper_datacenter
+
+        tag = Tag("shop")
+        tag.add_component("web", size=8)
+        tag.add_component("db", size=4)
+        tag.add_edge("web", "db", send=100.0, recv=200.0)
+        tag.add_self_loop("db", 50.0)
+        ledger = Ledger(paper_datacenter(scale=0.125))
+        result = CloudMirrorPlacer(ledger).place(tag)
+        assert isinstance(result, Placement)
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize(
+        "module_name",
+        [
+            "repro.core",
+            "repro.models",
+            "repro.topology",
+            "repro.placement",
+            "repro.workloads",
+            "repro.simulation",
+            "repro.inference",
+            "repro.enforcement",
+            "repro.temporal",
+        ],
+    )
+    def test_subpackage_all_resolves(self, module_name):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert module.__all__, f"{module_name} exports nothing"
+        for name in module.__all__:
+            assert getattr(module, name) is not None
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (
+                isinstance(obj, type)
+                and issubclass(obj, Exception)
+                and obj is not errors.ReproError
+                and obj.__module__ == "repro.errors"
+            ):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_single_catch_all(self):
+        from repro.core.tag import Tag
+
+        tag = Tag()
+        with pytest.raises(errors.ReproError):
+            tag.add_component("", 1)
+        with pytest.raises(errors.ReproError):
+            tag.component("missing")

@@ -1,0 +1,75 @@
+"""Additional workload coverage: scaling invariants, generator edges."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.bing import _split_size, bing_pool
+from repro.workloads.hpcloud import hpcloud_pool
+from repro.workloads.scaling import scale_pool
+from repro.workloads.synthetic import synthetic_pool
+
+import numpy as np
+
+
+class TestSplitSize:
+    def test_preserves_total(self):
+        rng = np.random.default_rng(0)
+        for total, parts in ((10, 3), (57, 5), (7, 7), (3, 9)):
+            sizes = _split_size(rng, total, parts)
+            assert sum(sizes) == min(total, total)
+            assert all(s >= 1 for s in sizes)
+
+    def test_more_parts_than_total(self):
+        rng = np.random.default_rng(1)
+        sizes = _split_size(rng, 3, 10)
+        assert sizes == [1, 1, 1]
+
+
+class TestScalingInvariants:
+    def test_structure_preserved(self):
+        pool = bing_pool()[:10]
+        scaled = scale_pool(pool, 777.0)
+        for before, after in zip(pool, scaled):
+            assert before.size == after.size
+            assert before.num_tiers == after.num_tiers
+            assert len(before.edges) == len(after.edges)
+
+    def test_scaling_is_uniform_across_edges(self):
+        pool = bing_pool()[:5]
+        scaled = scale_pool(pool, 500.0)
+        for before, after in zip(pool, scaled):
+            ratios = set()
+            for key, edge in before.edges.items():
+                if edge.send > 0:
+                    ratios.add(round(after.edges[key].send / edge.send, 9))
+            assert len(ratios) <= 1
+
+    def test_idempotent_at_same_bmax(self):
+        pool = bing_pool()[:5]
+        once = scale_pool(pool, 600.0)
+        twice = scale_pool(once, 600.0)
+        for a, b in zip(once, twice):
+            for key, edge in a.edges.items():
+                assert edge.send == pytest.approx(b.edges[key].send)
+
+
+class TestGeneratorEdges:
+    def test_tiny_pool_sizes(self):
+        pool = bing_pool(seed=3, tenants=5)
+        assert len(pool) == 5
+        assert all(t.size >= 1 for t in pool)
+
+    def test_hpcloud_deterministic(self):
+        a = [t.size for t in hpcloud_pool(seed=4)]
+        b = [t.size for t in hpcloud_pool(seed=4)]
+        assert a == b
+
+    def test_synthetic_deterministic(self):
+        a = [t.size for t in synthetic_pool(seed=4)]
+        b = [t.size for t in synthetic_pool(seed=4)]
+        assert a == b
+
+    def test_pools_have_bandwidth(self):
+        for pool in (bing_pool()[:10], hpcloud_pool()[:10], synthetic_pool()[:10]):
+            assert all(t.total_bandwidth > 0 for t in pool)

@@ -1,0 +1,64 @@
+"""Tests for the Fig. 1 survey data and its two claims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.survey import (
+    DATACENTERS,
+    WORKLOADS,
+    WorkloadRatio,
+    datacenter_ratios,
+)
+
+
+class TestWorkloadRatios:
+    def test_ten_workloads_like_the_figure(self):
+        assert len(WORKLOADS) == 10
+        kinds = {w.kind for w in WORKLOADS}
+        assert kinds == {"batch", "interactive"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadRatio("x", "other", 1.0, 2.0)
+        with pytest.raises(ValueError):
+            WorkloadRatio("x", "batch", 5.0, 2.0)
+
+    def test_interactive_at_least_batch(self):
+        """Fig. 1(a)'s claim: interactive >= batch demand ratios."""
+        batch_high = max(w.high for w in WORKLOADS if w.kind == "batch")
+        interactive_highs = [
+            w.high for w in WORKLOADS if w.kind == "interactive"
+        ]
+        assert all(h >= batch_high * 0.5 for h in interactive_highs)
+        assert np.median(interactive_highs) > batch_high
+
+
+class TestDatacenterRatios:
+    def test_four_datacenters(self):
+        assert len(DATACENTERS) == 4
+
+    def test_levels_monotone_decreasing(self):
+        """Oversubscription: per-GHz provisioning shrinks up the tree."""
+        for dc in DATACENTERS:
+            ratios = datacenter_ratios(dc)
+            assert ratios["server"] >= ratios["tor"] >= ratios["aggregation"]
+
+    def test_fig1_provisioning_claim(self):
+        """Servers are adequately provisioned for typical demand; ToR and
+        aggregation levels fall below the interactive median."""
+        interactive_median = float(
+            np.median(
+                [
+                    np.sqrt(w.low * w.high)
+                    for w in WORKLOADS
+                    if w.kind == "interactive"
+                ]
+            )
+        )
+        for dc in DATACENTERS:
+            ratios = datacenter_ratios(dc)
+            assert ratios["aggregation"] < interactive_median
+        server_ratios = [datacenter_ratios(dc)["server"] for dc in DATACENTERS]
+        assert np.median(server_ratios) > interactive_median * 0.5
