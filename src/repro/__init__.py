@@ -28,6 +28,15 @@ from repro.core import (
     TagEdge,
     uplink_requirement,
 )
+from repro.engine import (
+    Engine,
+    Scenario,
+    ScenarioResult,
+    TopologyCase,
+    Trial,
+    TrialResult,
+    Variant,
+)
 from repro.placement import (
     CloudMirrorPlacer,
     HaPolicy,
@@ -47,23 +56,30 @@ from repro.topology import (
     three_level_tree,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BandwidthDemand",
     "CloudMirrorPlacer",
     "Component",
     "DatacenterSpec",
+    "Engine",
     "HaPolicy",
     "Ledger",
     "OktopusPlacer",
     "Placement",
     "Rejection",
+    "Scenario",
+    "ScenarioResult",
     "SecondNetPlacer",
     "Tag",
     "TagEdge",
     "TenantAllocation",
     "Topology",
+    "TopologyCase",
+    "Trial",
+    "TrialResult",
+    "Variant",
     "allocation_wcs",
     "paper_datacenter",
     "single_rack",

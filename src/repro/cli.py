@@ -1,42 +1,173 @@
-"""Command-line entry point: ``repro-experiment <name> [options]``.
+"""Command-line entry point for the scenario engine.
 
-``repro-experiment list`` shows the available experiments; every other
-subcommand dispatches to the matching driver in ``repro.experiments``,
-passing through its own options (try ``repro-experiment table1 --help``).
+::
+
+    repro list                       # registered scenarios
+    repro run fig08 --jobs 4         # run one scenario in parallel
+    repro run fig07 --seeds 0,1,2    # grid overrides
+    repro fig08 --pods 1             # shorthand for "run fig08 --pods 1"
+
+``run`` accepts grid overrides (``--seeds``, ``--loads``, ``--bmax``,
+``--placers``, ``--pods``, ``--arrivals``) that rewrite the registered
+scenario's axes, plus ``--jobs N`` to execute the trial matrix over N
+worker processes (``--jobs 0`` = one per CPU).  The legacy
+``repro-experiment <name>`` spelling keeps working via the shorthand.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
-from repro.experiments import EXPERIMENTS
+from repro.engine import Engine, Scenario, Variant, kind_axes, registry
+from repro.errors import EngineError, ReproError
 
 __all__ = ["main"]
 
 
+def _int_list(text: str) -> tuple[int, ...]:
+    return tuple(int(part) for part in text.split(",") if part != "")
+
+
+def _float_list(text: str) -> tuple[float, ...]:
+    return tuple(float(part) for part in text.split(",") if part != "")
+
+
+def _str_list(text: str) -> tuple[str, ...]:
+    return tuple(part for part in text.split(",") if part != "")
+
+
+def _list_scenarios() -> int:
+    print("usage: repro run <scenario> [--jobs N] [--seeds 0,1,..] [options]")
+    print("\nregistered scenarios:")
+    for entry in registry.entries():
+        scenario = entry.scenario
+        aliases = f" (alias: {', '.join(entry.aliases)})" if entry.aliases else ""
+        print(f"  {scenario.name:<10} {scenario.title}{aliases}")
+    return 0
+
+
+def _build_run_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro run", description="run one registered scenario"
+    )
+    parser.add_argument("name", help="scenario name or alias (see 'repro list')")
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (0 = one per CPU)"
+    )
+    parser.add_argument("--seeds", type=_int_list, help="seed grid, e.g. 0,1,2")
+    parser.add_argument("--loads", type=_float_list, help="load grid, e.g. 0.5,0.9")
+    parser.add_argument("--bmax", type=_float_list, help="B_max grid, e.g. 400,800")
+    parser.add_argument(
+        "--placers", type=_str_list, help="placer variants, e.g. cm,ovoc,secondnet"
+    )
+    parser.add_argument("--pods", type=int, help="datacenter pods")
+    parser.add_argument("--arrivals", type=int, help="tenant arrivals per trial")
+    return parser
+
+
+# CLI flag -> the scenario grid axis it overrides.
+_FLAG_AXES = (
+    ("seeds", "seeds"),
+    ("loads", "loads"),
+    ("bmax", "bmaxes"),
+    ("placers", "placers"),
+    ("pods", "pods"),
+    ("arrivals", "arrivals"),
+)
+
+
+def _unsupported_flags(scenario: Scenario, args: argparse.Namespace) -> list[str]:
+    """Overrides the scenario's kind would silently ignore."""
+    supported = kind_axes(scenario.kind)
+    return [
+        f"--{flag}"
+        for flag, axis in _FLAG_AXES
+        if getattr(args, flag) is not None and axis not in supported
+    ]
+
+
+def _apply_overrides(scenario: Scenario, args: argparse.Namespace) -> Scenario:
+    variants = None
+    if args.placers:
+        variants = tuple(Variant(name) for name in args.placers)
+    return scenario.override(
+        seeds=args.seeds,
+        loads=args.loads,
+        bmaxes=args.bmax,
+        variants=variants,
+        pods=args.pods,
+        arrivals=args.arrivals,
+    )
+
+
+def _run(argv: list[str]) -> int:
+    args = _build_run_parser().parse_args(argv)
+    try:
+        entry = registry.get(args.name)
+    except EngineError as error:
+        print(error)
+        return 2
+    unsupported = _unsupported_flags(entry.scenario, args)
+    if unsupported:
+        print(
+            f"error: {', '.join(unsupported)} would have no effect on "
+            f"{entry.scenario.name!r} (kind {entry.scenario.kind!r})"
+        )
+        return 2
+    try:
+        scenario = _apply_overrides(entry.scenario, args)
+        result = Engine(n_jobs=args.jobs).run(scenario)
+        entry.present(result)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    trials = "trial" if len(result) == 1 else "trials"
+    print(
+        f"[{scenario.name}] {len(result)} {trials} in {result.elapsed:.2f}s "
+        f"(n_jobs={result.n_jobs})"
+    )
+    return 0
+
+
+def _shorthand(name: str, rest: list[str]) -> int:
+    """``repro <name> [flags]``: the experiment's own CLI.
+
+    Unlike ``repro run`` (the generic grid interface), this dispatches
+    to the experiment module's ``main``, which understands its
+    experiment-specific flags (``--workload``, ``--max-senders``, ...) —
+    the legacy ``repro-experiment`` behaviour.
+    """
+    try:
+        entry = registry.get(name)
+    except EngineError as error:
+        print(error)
+        return 2
+    if entry.cli is None:
+        return _run([name, *rest])
+    try:
+        entry.cli(rest)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] in ("-h", "--help", "list"):
-        print("usage: repro-experiment <name> [options]")
-        print("\navailable experiments:")
-        for name, module in EXPERIMENTS.items():
-            summary = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"  {name:<10} {summary}")
+    try:
+        if not argv or argv[0] in ("-h", "--help", "list"):
+            return _list_scenarios()
+        if argv[0] == "run":
+            return _run(argv[1:])
+        return _shorthand(argv[0], argv[1:])
+    except BrokenPipeError:
+        # Piped into head/less that exited: not an error.  Detach stdout
+        # so the interpreter's shutdown flush doesn't raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
-    name, *rest = argv
-    module = EXPERIMENTS.get(name)
-    if module is None:
-        print(f"unknown experiment {name!r}; run 'repro-experiment list'")
-        return 2
-    if hasattr(module, "main"):
-        main_fn = module.main
-        try:
-            main_fn(rest)
-        except TypeError:
-            main_fn()
-        return 0
-    print(f"experiment {name!r} has no CLI driver")
-    return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,67 @@
+"""Unified scenario engine: declarative experiments, parallel trials.
+
+``repro.engine`` turns every §5 experiment into data: a frozen
+:class:`Scenario` describing the pool, placer variants, topologies and
+load/B_max/seed grids, expanded by the :class:`Engine` into a flat trial
+matrix and executed serially or across ``multiprocessing`` workers with
+deterministic per-trial seeding.  The :mod:`~repro.engine.registry` maps
+scenario names to their definitions and presenters so the CLI can list
+and run any experiment in the repo::
+
+    from repro.engine import Engine, registry
+
+    entry = registry.get("fig08")
+    result = Engine(n_jobs=4).run(entry.scenario.override(seeds=range(8)))
+    entry.present(result)
+"""
+
+from repro.engine import registry
+from repro.engine.context import (
+    POOL_NAMES,
+    TrialContext,
+    build_context,
+    get_pool,
+    get_scaled_pool,
+    get_topology,
+)
+from repro.engine.engine import Engine
+from repro.engine.runners import (
+    KIND_AXES,
+    RUNNERS,
+    execute_trial,
+    kind_axes,
+    register_runner,
+)
+from repro.engine.scenario import (
+    Scenario,
+    ScenarioResult,
+    TopologyCase,
+    Trial,
+    TrialResult,
+    Variant,
+)
+
+__all__ = [
+    "Engine",
+    "KIND_AXES",
+    "POOL_NAMES",
+    "RUNNERS",
+    "RegisteredScenario",
+    "Scenario",
+    "ScenarioResult",
+    "TopologyCase",
+    "Trial",
+    "TrialContext",
+    "TrialResult",
+    "Variant",
+    "build_context",
+    "execute_trial",
+    "get_pool",
+    "kind_axes",
+    "get_scaled_pool",
+    "get_topology",
+    "register_runner",
+    "registry",
+]
+
+from repro.engine.registry import RegisteredScenario  # noqa: E402  (re-export)

@@ -1,0 +1,237 @@
+"""Per-kind trial execution functions.
+
+Each runner takes one fully-bound :class:`~repro.engine.scenario.Trial`
+and returns a picklable payload; :func:`execute_trial` wraps the payload
+into a :class:`TrialResult` with wall time.  All runners are module-level
+functions so ``multiprocessing`` spawn workers can import them by
+reference.
+
+Kinds shipped with the repo:
+
+========== ==========================================================
+kind       payload
+========== ==========================================================
+rejection  :class:`repro.simulation.metrics.RunMetrics`
+reserved   :class:`repro.simulation.runner.ReservedBandwidth`
+inference  ``{"scores": [...], "applications": int}``
+runtime    ``{"seconds": float, "placed": bool}`` or ``None`` (skipped)
+enforce    :class:`repro.enforcement.scenarios.Fig13Point`
+hose_fail  :class:`repro.enforcement.scenarios.Fig4Outcome`
+survey     raw Fig. 1 ratio data (dict)
+========== ==========================================================
+
+New kinds can be added with :func:`register_runner`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.engine.context import build_context, get_pool, get_topology
+from repro.engine.scenario import Trial, TrialResult
+from repro.errors import EngineError
+from repro.simulation.arrivals import poisson_arrivals
+from repro.simulation.cluster import run_arrival_departure
+from repro.simulation.runner import measure_reserved_bandwidth
+
+__all__ = ["KIND_AXES", "RUNNERS", "execute_trial", "kind_axes", "register_runner"]
+
+
+def run_rejection_trial(trial: Trial):
+    """The §5.1 arrival/departure loop (Figs. 7-12).
+
+    Semantically identical to
+    :func:`repro.simulation.runner.simulate_rejections` (a test pins the
+    two together) but built through :func:`build_context`, whose
+    process-wide caches let repeated trials skip re-scaling the pool and
+    re-building the topology.
+    """
+    context = build_context(trial)
+    events = poisson_arrivals(
+        context.pool,
+        trial.arrivals,
+        trial.load,
+        context.topology.total_slots,
+        seed=trial.seed,
+    )
+    return run_arrival_departure(context.manager, events, context.pool)
+
+
+def run_reserved_trial(trial: Trial):
+    """The Table 1 loop on the idealized unlimited topology."""
+    return measure_reserved_bandwidth(
+        get_pool(trial.pool),
+        bmax=trial.bmax,
+        spec=trial.topology.spec,
+        seed=trial.seed,
+        max_arrivals=trial.param("max_arrivals", 20_000),
+        topology=get_topology(trial.topology.spec, unlimited=True),
+    )
+
+
+def run_inference_trial(trial: Trial) -> dict[str, Any]:
+    """The §3 TAG-inference pipeline over one seed's synthetic traces."""
+    from repro.inference.ami import ami
+    from repro.inference.builder import infer_components
+    from repro.inference.traffic import synthesize_trace
+
+    max_vms = trial.param("max_vms", 60)
+    max_applications = trial.param("max_applications", 20)
+    noise_fraction = trial.param("noise_fraction", 0.05)
+    pool = [
+        tag
+        for tag in get_pool(trial.pool)
+        if tag.num_tiers >= 2 and tag.size <= max_vms
+    ][:max_applications]
+    scores = []
+    for index, tag in enumerate(pool):
+        trace = synthesize_trace(
+            tag, seed=trial.seed + index, noise_fraction=noise_fraction
+        )
+        labels = infer_components(trace, seed=trial.seed + index)
+        scores.append(ami(trace.labels, labels))
+    return {
+        "scores": scores,
+        "mean": float(np.mean(scores)) if scores else 0.0,
+        "applications": len(scores),
+    }
+
+
+def run_runtime_trial(trial: Trial) -> dict[str, Any] | None:
+    """Time one single-tenant placement on an empty datacenter.
+
+    Builds only what the measurement touches (no tenant pool, no
+    cluster manager): a fresh ledger over the cached topology plus the
+    placer under test.
+    """
+    from repro.placement.base import Placement
+    from repro.simulation.runner import make_placer
+    from repro.topology.ledger import Ledger
+    from repro.workloads.patterns import three_tier
+
+    vms = int(trial.x)
+    cap = trial.param("secondnet_size_cap", 120)
+    if trial.variant.placer == "secondnet" and vms > cap:
+        return None  # O(N^2) pipes; the paper reports tens of minutes
+    third = max(1, vms // 3)
+    tenant = three_tier(
+        f"rt-{vms}", (vms - 2 * third, third, third), b1=200.0, b2=50.0, b3=20.0
+    )
+    ledger = Ledger(get_topology(trial.topology.spec))
+    placer = make_placer(trial.variant.placer, ledger, trial.variant.ha)
+    started = time.perf_counter()
+    result = placer.place(tenant)
+    return {
+        "seconds": time.perf_counter() - started,
+        "placed": isinstance(result, Placement),
+    }
+
+
+def run_enforce_trial(trial: Trial):
+    """One x-axis point of Fig. 13 (ElasticSwitch-style enforcement)."""
+    from repro.enforcement.scenarios import fig13_scenario
+
+    return fig13_scenario(
+        int(trial.x),
+        mode=trial.variant.placer,
+        guarantee=trial.param("guarantee", 450.0),
+        bottleneck=trial.param("bottleneck", 1000.0),
+    )
+
+
+def run_hose_failure_trial(trial: Trial):
+    """The Fig. 4 motivation scenario under one abstraction."""
+    from repro.enforcement.scenarios import fig4_scenario
+
+    return fig4_scenario(
+        mode=trial.variant.placer,
+        **{key: value for key, value in trial.params},
+    )
+
+
+def run_survey_trial(trial: Trial) -> dict[str, Any]:
+    """Raw Fig. 1 data: workload demand vs datacenter provisioning."""
+    from repro.workloads.survey import DATACENTERS, WORKLOADS, datacenter_ratios
+
+    dc_rows = []
+    for dc in DATACENTERS:
+        ratios = datacenter_ratios(dc)
+        dc_rows.append(
+            (dc.name, ratios["server"], ratios["tor"], ratios["aggregation"])
+        )
+    interactive = [
+        float(np.sqrt(w.low * w.high)) for w in WORKLOADS if w.kind == "interactive"
+    ]
+    batch = [float(np.sqrt(w.low * w.high)) for w in WORKLOADS if w.kind == "batch"]
+    return {
+        "workload_rows": [(w.name, w.kind, w.low, w.high) for w in WORKLOADS],
+        "datacenter_rows": dc_rows,
+        "interactive_median": float(np.median(interactive)),
+        "batch_median": float(np.median(batch)),
+    }
+
+
+RUNNERS: dict[str, Callable[[Trial], Any]] = {
+    "rejection": run_rejection_trial,
+    "reserved": run_reserved_trial,
+    "inference": run_inference_trial,
+    "runtime": run_runtime_trial,
+    "enforce": run_enforce_trial,
+    "hose_fail": run_hose_failure_trial,
+    "survey": run_survey_trial,
+}
+
+_ALL_AXES = frozenset({"seeds", "loads", "bmaxes", "placers", "pods", "arrivals"})
+
+# Which generic grid axes each kind actually consumes.  The CLI uses
+# this to reject overrides that would be silent no-ops (e.g.
+# ``--arrivals`` on table1, whose runner streams until the first
+# rejection regardless).
+KIND_AXES: dict[str, frozenset[str]] = {
+    "rejection": _ALL_AXES,
+    "reserved": frozenset({"seeds", "bmaxes", "pods"}),
+    "inference": frozenset({"seeds"}),
+    "runtime": frozenset({"placers", "pods"}),
+    # Enforcement kinds compare abstraction modes: the variant axis IS
+    # the tag/hose mode, so --placers is meaningful.
+    "enforce": frozenset({"placers"}),
+    "hose_fail": frozenset({"placers"}),
+    "survey": frozenset(),
+}
+
+
+def kind_axes(kind: str) -> frozenset[str]:
+    """Grid axes consumed by ``kind``; custom kinds accept everything."""
+    return KIND_AXES.get(kind, _ALL_AXES)
+
+
+# Kinds whose payload is a wall-clock measurement: dispatching their
+# trials across worker processes would let CPU contention inflate the
+# measured seconds, so the engine pins them to serial execution.
+SERIAL_ONLY_KINDS: frozenset[str] = frozenset({"runtime"})
+
+
+def register_runner(kind: str, runner: Callable[[Trial], Any]) -> None:
+    """Add (or replace) the execution function for a trial kind.
+
+    For ``n_jobs > 1`` the function must be importable by spawn workers,
+    i.e. defined at module level, not a lambda or closure.
+    """
+    if not kind:
+        raise EngineError("runner kind must be non-empty")
+    RUNNERS[kind] = runner
+
+
+def execute_trial(trial: Trial) -> TrialResult:
+    """Run one trial through its kind's runner, timing the wall clock."""
+    runner = RUNNERS.get(trial.kind)
+    if runner is None:
+        raise EngineError(
+            f"no runner for kind {trial.kind!r}; options: {sorted(RUNNERS)}"
+        )
+    started = time.perf_counter()
+    payload = runner(trial)
+    return TrialResult(trial, payload, time.perf_counter() - started)

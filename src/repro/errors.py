@@ -64,3 +64,7 @@ class InferenceError(ReproError):
 
 class EnforcementError(ReproError):
     """Raised for malformed enforcement-simulation setups."""
+
+
+class EngineError(ReproError):
+    """Raised for invalid scenario definitions or engine configuration."""

@@ -1,4 +1,11 @@
-"""One driver module per paper table/figure (see DESIGN.md experiment index)."""
+"""One driver module per paper table/figure, all running on the engine.
+
+Importing this package registers every experiment's declarative
+:class:`~repro.engine.scenario.Scenario` with
+:mod:`repro.engine.registry` (that is what ``registry.load_all`` relies
+on).  ``EXPERIMENTS`` is the legacy name -> module map kept for callers
+that import driver modules directly.
+"""
 
 from repro.experiments import (
     fig01_survey,

@@ -1,0 +1,76 @@
+"""Shared argparse driver for the per-experiment ``main()`` entry points.
+
+Every experiment module's CLI is the same shape: parse a handful of grid
+overrides, apply them to the module's declarative scenario, run it
+through the engine, and hand the results to the module's presenter.
+:func:`scenario_main` builds that function once so the experiment files
+stay declarative.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.engine import Engine, Scenario, ScenarioResult, kind_axes
+
+__all__ = ["CliOption", "scenario_main"]
+
+
+@dataclass(frozen=True)
+class CliOption:
+    """One extra experiment-specific flag and how it rewrites the scenario."""
+
+    flag: str
+    type: Callable[[str], Any]
+    default: Any
+    help: str
+    apply: Callable[[Scenario, Any], Scenario]
+
+    @property
+    def dest(self) -> str:
+        return self.flag.lstrip("-").replace("-", "_")
+
+
+def scenario_main(
+    scenario: Scenario,
+    doc: str | None,
+    present: Callable[[ScenarioResult], None],
+    options: Sequence[CliOption] = (),
+) -> Callable[[list[str] | None], None]:
+    """Build an experiment ``main(argv)`` around ``scenario``."""
+
+    axes = kind_axes(scenario.kind)
+
+    def main(argv: list[str] | None = None) -> None:
+        parser = argparse.ArgumentParser(description=doc)
+        # Only offer the generic grid flags this scenario's kind consumes
+        # (e.g. table1 streams until full: no --arrivals).
+        if "pods" in axes:
+            parser.add_argument("--pods", type=int, default=scenario.pods)
+        if "arrivals" in axes:
+            parser.add_argument("--arrivals", type=int, default=scenario.arrivals)
+        if "seeds" in axes:
+            parser.add_argument("--seed", type=int, default=scenario.seeds[0])
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for the trial matrix (0 = one per CPU)",
+        )
+        for option in options:
+            parser.add_argument(
+                option.flag, type=option.type, default=option.default, help=option.help
+            )
+        args = parser.parse_args(argv)
+        overridden = scenario.override(
+            pods=getattr(args, "pods", None),
+            arrivals=getattr(args, "arrivals", None),
+            seeds=(args.seed,) if "seeds" in axes else None,
+        )
+        for option in options:
+            overridden = option.apply(overridden, getattr(args, option.dest))
+        present(Engine(n_jobs=args.jobs).run(overridden))
+
+    return main

@@ -9,12 +9,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.experiments._cli import scenario_main
 from repro.experiments._table import Table
-from repro.workloads.survey import DATACENTERS, WORKLOADS, datacenter_ratios
 
-__all__ = ["run", "Fig1Result", "main"]
+__all__ = ["run", "Fig1Result", "main", "SCENARIO"]
+
+SCENARIO = Scenario(
+    name="fig01",
+    title="Fig. 1 — workload demand vs datacenter provisioning",
+    kind="survey",
+    pool="",
+    variants=(Variant("survey"),),
+)
 
 
 @dataclass(frozen=True)
@@ -28,54 +35,60 @@ class Fig1Result:
     agg_ratios: list[float]
 
 
-def run() -> Fig1Result:
+def _to_result(result: ScenarioResult) -> Fig1Result:
+    (trial_result,) = result.results
+    payload = trial_result.payload
+
     workloads = Table(
         "Fig. 1(a) — workload BW:CPU demand (Mbps/GHz)",
         ("workload", "kind", "low", "high"),
     )
-    for w in WORKLOADS:
-        workloads.add(w.name, w.kind, w.low, w.high)
+    for name, kind, low, high in payload["workload_rows"]:
+        workloads.add(name, kind, low, high)
 
     datacenters = Table(
         "Fig. 1(b) — datacenter BW:CPU provisioning (Mbps/GHz)",
         ("datacenter", "server", "tor", "aggregation"),
     )
     server, tor, agg = [], [], []
-    for dc in DATACENTERS:
-        ratios = datacenter_ratios(dc)
-        datacenters.add(dc.name, ratios["server"], ratios["tor"], ratios["aggregation"])
-        server.append(ratios["server"])
-        tor.append(ratios["tor"])
-        agg.append(ratios["aggregation"])
+    for name, srv, tor_ratio, agg_ratio in payload["datacenter_rows"]:
+        datacenters.add(name, srv, tor_ratio, agg_ratio)
+        server.append(srv)
+        tor.append(tor_ratio)
+        agg.append(agg_ratio)
 
-    interactive = [
-        float(np.sqrt(w.low * w.high)) for w in WORKLOADS if w.kind == "interactive"
-    ]
-    batch = [float(np.sqrt(w.low * w.high)) for w in WORKLOADS if w.kind == "batch"]
     return Fig1Result(
         workload_rows=workloads,
         datacenter_rows=datacenters,
-        interactive_median=float(np.median(interactive)),
-        batch_median=float(np.median(batch)),
+        interactive_median=payload["interactive_median"],
+        batch_median=payload["batch_median"],
         server_ratios=server,
         tor_ratios=tor,
         agg_ratios=agg,
     )
 
 
-def main() -> None:
-    result = run()
-    result.workload_rows.show()
-    result.datacenter_rows.show()
+def run(*, n_jobs: int = 1) -> Fig1Result:
+    return _to_result(Engine(n_jobs=n_jobs).run(SCENARIO))
+
+
+def present(result: ScenarioResult) -> None:
+    fig1 = _to_result(result)
+    fig1.workload_rows.show()
+    fig1.datacenter_rows.show()
     print(
-        f"interactive median {result.interactive_median:.0f} Mbps/GHz vs "
-        f"batch median {result.batch_median:.0f} Mbps/GHz"
+        f"interactive median {fig1.interactive_median:.0f} Mbps/GHz vs "
+        f"batch median {fig1.batch_median:.0f} Mbps/GHz"
     )
     print(
         "datacenters: server-level provisioning covers typical demand; "
         "ToR/agg levels fall below interactive demand medians"
     )
 
+
+main = scenario_main(SCENARIO, __doc__, present)
+
+registry.register(SCENARIO, present, aliases=("fig1",), cli=main)
 
 if __name__ == "__main__":
     main()

@@ -9,19 +9,29 @@ guarantees separate.
 
 from __future__ import annotations
 
-import argparse
-
-from repro.enforcement.scenarios import Fig4Outcome, fig4_scenario
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.enforcement.scenarios import Fig4Outcome
+from repro.experiments._cli import scenario_main
 from repro.experiments._table import Table
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "SCENARIO"]
+
+SCENARIO = Scenario(
+    name="fig04",
+    title="Fig. 4 — hose vs TAG guarantee isolation",
+    kind="hose_fail",
+    pool="",
+    variants=(Variant("tag"), Variant("hose")),
+)
 
 
-def run(**kwargs) -> dict[str, Fig4Outcome]:
-    return {
-        "tag": fig4_scenario(mode="tag", **kwargs),
-        "hose": fig4_scenario(mode="hose", **kwargs),
-    }
+def _to_outcomes(result: ScenarioResult) -> dict[str, Fig4Outcome]:
+    return {r.trial.variant.name: r.payload for r in result}
+
+
+def run(*, n_jobs: int = 1, **kwargs) -> dict[str, Fig4Outcome]:
+    scenario = SCENARIO.override(params=tuple(sorted(kwargs.items())))
+    return _to_outcomes(Engine(n_jobs=n_jobs).run(scenario))
 
 
 def to_table(outcomes: dict[str, Fig4Outcome]) -> Table:
@@ -39,10 +49,13 @@ def to_table(outcomes: dict[str, Fig4Outcome]) -> Table:
     return table
 
 
-def main(argv: list[str] | None = None) -> None:
-    argparse.ArgumentParser(description=__doc__).parse_args(argv)
-    to_table(run()).show()
+def present(result: ScenarioResult) -> None:
+    to_table(_to_outcomes(result)).show()
 
+
+main = scenario_main(SCENARIO, __doc__, present)
+
+registry.register(SCENARIO, present, aliases=("fig4",), cli=main)
 
 if __name__ == "__main__":
     main()

@@ -9,18 +9,25 @@ requests."
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.experiments._cli import scenario_main
 from repro.experiments._table import Table
 from repro.simulation.metrics import RunMetrics
-from repro.simulation.runner import simulate_rejections
-from repro.topology.builder import DatacenterSpec
-from repro.workloads.bing import bing_pool
 
-__all__ = ["run", "main", "DEFAULT_BMAX_VALUES"]
+__all__ = ["run", "main", "SCENARIO", "DEFAULT_BMAX_VALUES"]
 
 DEFAULT_BMAX_VALUES = (400.0, 600.0, 800.0, 1000.0, 1200.0)
+
+SCENARIO = Scenario(
+    name="fig07",
+    title="Fig. 7 — rejection rates vs B_max at 50% and 90% load",
+    kind="rejection",
+    variants=(Variant("cm"), Variant("ovoc")),
+    loads=(0.5, 0.9),
+    bmaxes=DEFAULT_BMAX_VALUES,
+)
 
 
 @dataclass(frozen=True)
@@ -31,6 +38,13 @@ class SweepPoint:
     metrics: RunMetrics
 
 
+def _points(result: ScenarioResult) -> list[SweepPoint]:
+    return [
+        SweepPoint(r.trial.bmax, r.trial.load, r.trial.variant.name, r.payload)
+        for r in result
+    ]
+
+
 def run(
     *,
     loads: tuple[float, ...] = (0.5, 0.9),
@@ -39,24 +53,17 @@ def run(
     arrivals: int = 600,
     seed: int = 0,
     algorithms: tuple[str, ...] = ("cm", "ovoc"),
+    n_jobs: int = 1,
 ) -> list[SweepPoint]:
-    pool = bing_pool()
-    spec = DatacenterSpec(pods=pods)
-    points = []
-    for load in loads:
-        for bmax in bmax_values:
-            for algorithm in algorithms:
-                metrics = simulate_rejections(
-                    pool,
-                    algorithm,
-                    load=load,
-                    bmax=bmax,
-                    spec=spec,
-                    arrivals=arrivals,
-                    seed=seed,
-                )
-                points.append(SweepPoint(bmax, load, algorithm, metrics))
-    return points
+    scenario = SCENARIO.override(
+        loads=loads,
+        bmaxes=bmax_values,
+        pods=pods,
+        arrivals=arrivals,
+        seeds=(seed,),
+        variants=tuple(Variant(a) for a in algorithms),
+    )
+    return _points(Engine(n_jobs=n_jobs).run(scenario))
 
 
 def to_table(points: list[SweepPoint]) -> Table:
@@ -76,15 +83,13 @@ def to_table(points: list[SweepPoint]) -> Table:
     return table
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--pods", type=int, default=2)
-    parser.add_argument("--arrivals", type=int, default=600)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-    points = run(pods=args.pods, arrivals=args.arrivals, seed=args.seed)
-    to_table(points).show()
+def present(result: ScenarioResult) -> None:
+    to_table(_points(result)).show()
 
+
+main = scenario_main(SCENARIO, __doc__, present)
+
+registry.register(SCENARIO, present, aliases=("fig7",), cli=main)
 
 if __name__ == "__main__":
     main()

@@ -6,18 +6,25 @@ demands even at low loads while CM efficiently places most of them."
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.experiments._cli import scenario_main
 from repro.experiments._table import Table
 from repro.simulation.metrics import RunMetrics
-from repro.simulation.runner import simulate_rejections
-from repro.topology.builder import DatacenterSpec
-from repro.workloads.bing import bing_pool
 
-__all__ = ["run", "main", "DEFAULT_LOADS"]
+__all__ = ["run", "main", "SCENARIO", "DEFAULT_LOADS"]
 
 DEFAULT_LOADS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+SCENARIO = Scenario(
+    name="fig08",
+    title="Fig. 8 — rejection rates vs load, B_max = 800 Mbps",
+    kind="rejection",
+    variants=(Variant("cm"), Variant("ovoc")),
+    loads=DEFAULT_LOADS,
+    bmaxes=(800.0,),
+)
 
 
 @dataclass(frozen=True)
@@ -25,6 +32,12 @@ class LoadPoint:
     load: float
     algorithm: str
     metrics: RunMetrics
+
+
+def _points(result: ScenarioResult) -> list[LoadPoint]:
+    return [
+        LoadPoint(r.trial.load, r.trial.variant.name, r.payload) for r in result
+    ]
 
 
 def run(
@@ -35,23 +48,17 @@ def run(
     arrivals: int = 600,
     seed: int = 0,
     algorithms: tuple[str, ...] = ("cm", "ovoc"),
+    n_jobs: int = 1,
 ) -> list[LoadPoint]:
-    pool = bing_pool()
-    spec = DatacenterSpec(pods=pods)
-    points = []
-    for load in loads:
-        for algorithm in algorithms:
-            metrics = simulate_rejections(
-                pool,
-                algorithm,
-                load=load,
-                bmax=bmax,
-                spec=spec,
-                arrivals=arrivals,
-                seed=seed,
-            )
-            points.append(LoadPoint(load, algorithm, metrics))
-    return points
+    scenario = SCENARIO.override(
+        loads=loads,
+        bmaxes=(bmax,),
+        pods=pods,
+        arrivals=arrivals,
+        seeds=(seed,),
+        variants=tuple(Variant(a) for a in algorithms),
+    )
+    return _points(Engine(n_jobs=n_jobs).run(scenario))
 
 
 def to_table(points: list[LoadPoint]) -> Table:
@@ -84,16 +91,15 @@ def to_chart(points: list[LoadPoint]) -> str:
     )
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--pods", type=int, default=2)
-    parser.add_argument("--arrivals", type=int, default=600)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-    points = run(pods=args.pods, arrivals=args.arrivals, seed=args.seed)
+def present(result: ScenarioResult) -> None:
+    points = _points(result)
     to_table(points).show()
     print(to_chart(points))
 
+
+main = scenario_main(SCENARIO, __doc__, present)
+
+registry.register(SCENARIO, present, aliases=("fig8",), cli=main)
 
 if __name__ == "__main__":
     main()

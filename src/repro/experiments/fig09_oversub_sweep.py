@@ -8,19 +8,40 @@ end-to-end server-to-core oversubscription; the paper's base topology is
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 
+from repro.engine import Engine, Scenario, ScenarioResult, TopologyCase, Variant, registry
+from repro.experiments._cli import scenario_main
 from repro.experiments._table import Table
 from repro.simulation.metrics import RunMetrics
-from repro.simulation.runner import simulate_rejections
 from repro.topology.builder import DatacenterSpec
-from repro.workloads.bing import bing_pool
 
-__all__ = ["run", "main", "DEFAULT_OVERSUB"]
+__all__ = ["run", "main", "SCENARIO", "DEFAULT_OVERSUB"]
 
 # total -> (tor_oversub, agg_oversub)
 DEFAULT_OVERSUB = {16: (4.0, 4.0), 32: (4.0, 8.0), 64: (8.0, 8.0), 128: (8.0, 16.0)}
+
+
+def _topology_cases(
+    oversubscriptions: dict[int, tuple[float, float]], pods: int
+) -> tuple[TopologyCase, ...]:
+    cases = []
+    for total, (tor, agg) in sorted(oversubscriptions.items()):
+        spec = DatacenterSpec(pods=pods, tor_oversub=tor, agg_oversub=agg)
+        assert int(spec.total_oversubscription) == total
+        cases.append(TopologyCase(f"{total}x", spec))
+    return tuple(cases)
+
+
+SCENARIO = Scenario(
+    name="fig09",
+    title="Fig. 9 — rejected bandwidth vs oversubscription ratio",
+    kind="rejection",
+    variants=(Variant("cm"), Variant("ovoc")),
+    loads=(0.9,),
+    bmaxes=(800.0,),
+    topologies=_topology_cases(DEFAULT_OVERSUB, pods=2),
+)
 
 
 @dataclass(frozen=True)
@@ -28,6 +49,17 @@ class OversubPoint:
     oversubscription: int
     algorithm: str
     metrics: RunMetrics
+
+
+def _points(result: ScenarioResult) -> list[OversubPoint]:
+    return [
+        OversubPoint(
+            int(r.trial.topology.spec.total_oversubscription),
+            r.trial.variant.name,
+            r.payload,
+        )
+        for r in result
+    ]
 
 
 def run(
@@ -39,25 +71,17 @@ def run(
     arrivals: int = 600,
     seed: int = 0,
     algorithms: tuple[str, ...] = ("cm", "ovoc"),
+    n_jobs: int = 1,
 ) -> list[OversubPoint]:
-    oversubscriptions = oversubscriptions or DEFAULT_OVERSUB
-    pool = bing_pool()
-    points = []
-    for total, (tor, agg) in sorted(oversubscriptions.items()):
-        spec = DatacenterSpec(pods=pods, tor_oversub=tor, agg_oversub=agg)
-        assert int(spec.total_oversubscription) == total
-        for algorithm in algorithms:
-            metrics = simulate_rejections(
-                pool,
-                algorithm,
-                load=load,
-                bmax=bmax,
-                spec=spec,
-                arrivals=arrivals,
-                seed=seed,
-            )
-            points.append(OversubPoint(total, algorithm, metrics))
-    return points
+    scenario = SCENARIO.override(
+        topologies=_topology_cases(oversubscriptions or DEFAULT_OVERSUB, pods),
+        loads=(load,),
+        bmaxes=(bmax,),
+        arrivals=arrivals,
+        seeds=(seed,),
+        variants=tuple(Variant(a) for a in algorithms),
+    )
+    return _points(Engine(n_jobs=n_jobs).run(scenario))
 
 
 def to_table(points: list[OversubPoint]) -> Table:
@@ -74,14 +98,13 @@ def to_table(points: list[OversubPoint]) -> Table:
     return table
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--pods", type=int, default=2)
-    parser.add_argument("--arrivals", type=int, default=600)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-    to_table(run(pods=args.pods, arrivals=args.arrivals, seed=args.seed)).show()
+def present(result: ScenarioResult) -> None:
+    to_table(_points(result)).show()
 
+
+main = scenario_main(SCENARIO, __doc__, present)
+
+registry.register(SCENARIO, present, aliases=("fig9",), cli=main)
 
 if __name__ == "__main__":
     main()

@@ -8,16 +8,14 @@ close to OVOC."
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.experiments._cli import scenario_main
 from repro.experiments._table import Table
 from repro.simulation.metrics import RunMetrics
-from repro.simulation.runner import simulate_rejections
-from repro.topology.builder import DatacenterSpec
-from repro.workloads.bing import bing_pool
 
-__all__ = ["run", "main", "VARIANTS"]
+__all__ = ["run", "main", "SCENARIO", "VARIANTS"]
 
 VARIANTS = ("cm", "cm-coloc-only", "cm-balance-only", "ovoc")
 _LABELS = {
@@ -27,12 +25,32 @@ _LABELS = {
     "ovoc": "OVOC",
 }
 
+SCENARIO = Scenario(
+    name="fig10",
+    title="Fig. 10 — CM subroutine ablation",
+    kind="rejection",
+    variants=tuple(Variant(v) for v in VARIANTS),
+    loads=(0.8,),
+    bmaxes=(800.0,),
+)
+
 
 @dataclass(frozen=True)
 class AblationPoint:
     variant: str
     label: str
     metrics: RunMetrics
+
+
+def _points(result: ScenarioResult) -> list[AblationPoint]:
+    return [
+        AblationPoint(
+            r.trial.variant.name,
+            _LABELS.get(r.trial.variant.name, r.trial.variant.name),
+            r.payload,
+        )
+        for r in result
+    ]
 
 
 def run(
@@ -42,22 +60,16 @@ def run(
     pods: int = 2,
     arrivals: int = 600,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> list[AblationPoint]:
-    pool = bing_pool()
-    spec = DatacenterSpec(pods=pods)
-    points = []
-    for variant in VARIANTS:
-        metrics = simulate_rejections(
-            pool,
-            variant,
-            load=load,
-            bmax=bmax,
-            spec=spec,
-            arrivals=arrivals,
-            seed=seed,
-        )
-        points.append(AblationPoint(variant, _LABELS[variant], metrics))
-    return points
+    scenario = SCENARIO.override(
+        loads=(load,),
+        bmaxes=(bmax,),
+        pods=pods,
+        arrivals=arrivals,
+        seeds=(seed,),
+    )
+    return _points(Engine(n_jobs=n_jobs).run(scenario))
 
 
 def to_table(points: list[AblationPoint]) -> Table:
@@ -84,16 +96,15 @@ def to_chart(points: list[AblationPoint]) -> str:
     )
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--pods", type=int, default=2)
-    parser.add_argument("--arrivals", type=int, default=600)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-    points = run(pods=args.pods, arrivals=args.arrivals, seed=args.seed)
+def present(result: ScenarioResult) -> None:
+    points = _points(result)
     to_table(points).show()
     print(to_chart(points))
 
+
+main = scenario_main(SCENARIO, __doc__, present)
+
+registry.register(SCENARIO, present, cli=main)
 
 if __name__ == "__main__":
     main()

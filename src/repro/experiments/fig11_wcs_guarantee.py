@@ -9,19 +9,43 @@ server level).
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.experiments._cli import scenario_main
 from repro.experiments._table import Table
 from repro.placement.ha import HaPolicy
 from repro.simulation.metrics import RunMetrics
-from repro.simulation.runner import simulate_rejections
-from repro.topology.builder import DatacenterSpec
-from repro.workloads.bing import bing_pool
 
-__all__ = ["run", "main", "DEFAULT_RWCS"]
+__all__ = ["run", "main", "SCENARIO", "DEFAULT_RWCS"]
 
 DEFAULT_RWCS = (0.0, 0.25, 0.5, 0.75)
+
+
+def _variants(
+    required_values: tuple[float, ...],
+    algorithms: tuple[str, ...],
+    laa_level: int,
+) -> tuple[Variant, ...]:
+    return tuple(
+        Variant(
+            f"{algorithm}@{required:.0%}",
+            algorithm,
+            HaPolicy(required_wcs=required, laa_level=laa_level),
+        )
+        for required in required_values
+        for algorithm in algorithms
+    )
+
+
+SCENARIO = Scenario(
+    name="fig11",
+    title="Fig. 11 — guaranteeing WCS at the server level",
+    kind="rejection",
+    variants=_variants(DEFAULT_RWCS, ("cm", "ovoc"), laa_level=0),
+    loads=(0.7,),
+    bmaxes=(800.0,),
+)
 
 
 @dataclass(frozen=True)
@@ -29,6 +53,17 @@ class WcsPoint:
     required_wcs: float
     algorithm: str
     metrics: RunMetrics
+
+
+def _points(result: ScenarioResult) -> list[WcsPoint]:
+    return [
+        WcsPoint(
+            r.trial.variant.ha.required_wcs if r.trial.variant.ha else 0.0,
+            r.trial.variant.placer,
+            r.payload,
+        )
+        for r in result
+    ]
 
 
 def run(
@@ -41,26 +76,18 @@ def run(
     seed: int = 0,
     laa_level: int = 0,
     algorithms: tuple[str, ...] = ("cm", "ovoc"),
+    n_jobs: int = 1,
 ) -> list[WcsPoint]:
-    pool = bing_pool()
-    spec = DatacenterSpec(pods=pods)
-    points = []
-    for required in required_values:
-        ha = HaPolicy(required_wcs=required, laa_level=laa_level)
-        for algorithm in algorithms:
-            metrics = simulate_rejections(
-                pool,
-                algorithm,
-                load=load,
-                bmax=bmax,
-                spec=spec,
-                arrivals=arrivals,
-                seed=seed,
-                ha=ha,
-                laa_level=laa_level,
-            )
-            points.append(WcsPoint(required, algorithm, metrics))
-    return points
+    scenario = SCENARIO.override(
+        variants=_variants(tuple(required_values), tuple(algorithms), laa_level),
+        loads=(load,),
+        bmaxes=(bmax,),
+        pods=pods,
+        arrivals=arrivals,
+        seeds=(seed,),
+        laa_level=laa_level,
+    )
+    return _points(Engine(n_jobs=n_jobs).run(scenario))
 
 
 def to_table(points: list[WcsPoint]) -> Table:
@@ -88,14 +115,13 @@ def to_table(points: list[WcsPoint]) -> Table:
     return table
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--pods", type=int, default=2)
-    parser.add_argument("--arrivals", type=int, default=600)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-    to_table(run(pods=args.pods, arrivals=args.arrivals, seed=args.seed)).show()
+def present(result: ScenarioResult) -> None:
+    to_table(_points(result)).show()
 
+
+main = scenario_main(SCENARIO, __doc__, present)
+
+registry.register(SCENARIO, present, cli=main)
 
 if __name__ == "__main__":
     main()

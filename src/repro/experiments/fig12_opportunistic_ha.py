@@ -8,19 +8,32 @@ non-guaranteed, its per-component WCS can reach zero (error bars).
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.experiments._cli import scenario_main
 from repro.experiments._table import Table
 from repro.placement.ha import HaPolicy
 from repro.simulation.metrics import RunMetrics
-from repro.simulation.runner import simulate_rejections
-from repro.topology.builder import DatacenterSpec
-from repro.workloads.bing import bing_pool
 
-__all__ = ["run", "main", "MODES"]
+__all__ = ["run", "main", "SCENARIO", "MODES"]
 
 MODES = ("cm", "cm+ha", "cm+oppha")
+
+_VARIANTS = (
+    Variant("cm", "cm"),
+    Variant("cm+ha", "cm", HaPolicy(required_wcs=0.5, laa_level=0)),
+    Variant("cm+oppha", "cm", HaPolicy(opportunistic=True, laa_level=0)),
+)
+
+SCENARIO = Scenario(
+    name="fig12",
+    title="Fig. 12 — HA mechanisms across B_max",
+    kind="rejection",
+    variants=_VARIANTS,
+    loads=(0.7,),
+    bmaxes=(400.0, 800.0, 1200.0),
+)
 
 
 @dataclass(frozen=True)
@@ -30,14 +43,10 @@ class HaPoint:
     metrics: RunMetrics
 
 
-def _policy(mode: str) -> HaPolicy | None:
-    if mode == "cm":
-        return None
-    if mode == "cm+ha":
-        return HaPolicy(required_wcs=0.5, laa_level=0)
-    if mode == "cm+oppha":
-        return HaPolicy(opportunistic=True, laa_level=0)
-    raise ValueError(f"unknown mode {mode!r}")
+def _points(result: ScenarioResult) -> list[HaPoint]:
+    return [
+        HaPoint(r.trial.bmax, r.trial.variant.name, r.payload) for r in result
+    ]
 
 
 def run(
@@ -47,24 +56,16 @@ def run(
     pods: int = 2,
     arrivals: int = 600,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> list[HaPoint]:
-    pool = bing_pool()
-    spec = DatacenterSpec(pods=pods)
-    points = []
-    for bmax in bmax_values:
-        for mode in MODES:
-            metrics = simulate_rejections(
-                pool,
-                "cm",
-                load=load,
-                bmax=bmax,
-                spec=spec,
-                arrivals=arrivals,
-                seed=seed,
-                ha=_policy(mode),
-            )
-            points.append(HaPoint(bmax, mode, metrics))
-    return points
+    scenario = SCENARIO.override(
+        bmaxes=bmax_values,
+        loads=(load,),
+        pods=pods,
+        arrivals=arrivals,
+        seeds=(seed,),
+    )
+    return _points(Engine(n_jobs=n_jobs).run(scenario))
 
 
 def to_table(points: list[HaPoint]) -> Table:
@@ -84,14 +85,13 @@ def to_table(points: list[HaPoint]) -> Table:
     return table
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--pods", type=int, default=2)
-    parser.add_argument("--arrivals", type=int, default=600)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-    to_table(run(pods=args.pods, arrivals=args.arrivals, seed=args.seed)).show()
+def present(result: ScenarioResult) -> None:
+    to_table(_points(result)).show()
 
+
+main = scenario_main(SCENARIO, __doc__, present)
+
+registry.register(SCENARIO, present, cli=main)
 
 if __name__ == "__main__":
     main()

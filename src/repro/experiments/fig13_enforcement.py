@@ -9,13 +9,25 @@ intra-tier traffic crowd X out (the Fig. 4 failure, quantified).
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
+from itertools import zip_longest
 
-from repro.enforcement.scenarios import Fig13Point, fig13_scenario
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.enforcement.scenarios import Fig13Point
+from repro.experiments._cli import CliOption, scenario_main
 from repro.experiments._table import Table
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "SCENARIO"]
+
+SCENARIO = Scenario(
+    name="fig13",
+    title="Fig. 13 — TAG vs hose under enforcement",
+    kind="enforce",
+    pool="",
+    variants=(Variant("tag"), Variant("hose")),
+    xs=tuple(range(6)),
+    params=(("bottleneck", 1000.0), ("guarantee", 450.0)),
+)
 
 
 @dataclass(frozen=True)
@@ -25,18 +37,26 @@ class Fig13Result:
     guarantee: float
 
 
+def _to_result(result: ScenarioResult) -> Fig13Result:
+    return Fig13Result(
+        tag_points=[r.payload for r in result.by_variant("tag")],
+        hose_points=[r.payload for r in result.by_variant("hose")],
+        guarantee=result.scenario.param("guarantee", 450.0),
+    )
+
+
 def run(
-    *, max_senders: int = 5, guarantee: float = 450.0, bottleneck: float = 1000.0
+    *,
+    max_senders: int = 5,
+    guarantee: float = 450.0,
+    bottleneck: float = 1000.0,
+    n_jobs: int = 1,
 ) -> Fig13Result:
-    tag_points = [
-        fig13_scenario(k, mode="tag", guarantee=guarantee, bottleneck=bottleneck)
-        for k in range(max_senders + 1)
-    ]
-    hose_points = [
-        fig13_scenario(k, mode="hose", guarantee=guarantee, bottleneck=bottleneck)
-        for k in range(max_senders + 1)
-    ]
-    return Fig13Result(tag_points, hose_points, guarantee)
+    scenario = SCENARIO.override(
+        xs=tuple(range(max_senders + 1)),
+        params=(("bottleneck", bottleneck), ("guarantee", guarantee)),
+    )
+    return _to_result(Engine(n_jobs=n_jobs).run(scenario))
 
 
 def to_table(result: Fig13Result) -> Table:
@@ -44,13 +64,15 @@ def to_table(result: Fig13Result) -> Table:
         "Fig. 13 — TCP throughput of VM Z (Mbps) vs #senders in C2",
         ("C2 senders", "X->Z (TAG)", "C2->Z (TAG)", "X->Z (hose)", "C2->Z (hose)"),
     )
-    for tag_p, hose_p in zip(result.tag_points, result.hose_points):
+    # zip_longest: either mode may be absent when --placers restricts
+    # the variant axis to a single abstraction.
+    for tag_p, hose_p in zip_longest(result.tag_points, result.hose_points):
         table.add(
-            tag_p.senders_in_c2,
-            f"{tag_p.x_to_z:.0f}",
-            f"{tag_p.c2_to_z:.0f}",
-            f"{hose_p.x_to_z:.0f}",
-            f"{hose_p.c2_to_z:.0f}",
+            (tag_p or hose_p).senders_in_c2,
+            f"{tag_p.x_to_z:.0f}" if tag_p else "-",
+            f"{tag_p.c2_to_z:.0f}" if tag_p else "-",
+            f"{hose_p.x_to_z:.0f}" if hose_p else "-",
+            f"{hose_p.c2_to_z:.0f}" if hose_p else "-",
         )
     return table
 
@@ -72,18 +94,32 @@ def to_chart(result: Fig13Result) -> str:
     )
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--max-senders", type=int, default=5)
-    args = parser.parse_args(argv)
-    result = run(max_senders=args.max_senders)
-    to_table(result).show()
-    print(to_chart(result))
+def present(result: ScenarioResult) -> None:
+    fig13 = _to_result(result)
+    to_table(fig13).show()
+    print(to_chart(fig13))
     print(
-        f"TAG keeps X->Z >= {result.guarantee:.0f} Mbps for every sender "
+        f"TAG keeps X->Z >= {fig13.guarantee:.0f} Mbps for every sender "
         "count; the hose baseline degrades toward 900/(k+1)."
     )
 
+
+main = scenario_main(
+    SCENARIO,
+    __doc__,
+    present,
+    options=(
+        CliOption(
+            "--max-senders",
+            int,
+            5,
+            "largest C2 sender count on the x-axis",
+            lambda scenario, value: scenario.override(xs=tuple(range(value + 1))),
+        ),
+    ),
+)
+
+registry.register(SCENARIO, present, cli=main)
 
 if __name__ == "__main__":
     main()

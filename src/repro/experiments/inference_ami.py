@@ -14,18 +14,22 @@ reports the distribution.
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 
-import numpy as np
-
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.experiments._cli import CliOption, scenario_main
 from repro.experiments._table import Table
-from repro.inference.ami import ami
-from repro.inference.builder import infer_components
-from repro.inference.traffic import synthesize_trace
-from repro.workloads.bing import bing_pool
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "SCENARIO"]
+
+SCENARIO = Scenario(
+    name="inference",
+    title="§3 — TAG inference quality (AMI vs ground truth)",
+    kind="inference",
+    pool="bing",
+    variants=(Variant("louvain"),),
+    params=(("max_applications", 20), ("max_vms", 60), ("noise_fraction", 0.05)),
+)
 
 
 @dataclass(frozen=True)
@@ -35,12 +39,22 @@ class InferenceResult:
     applications: int
 
 
+def _to_result(trial_result) -> InferenceResult:
+    payload = trial_result.payload
+    return InferenceResult(
+        scores=payload["scores"],
+        mean=payload["mean"],
+        applications=payload["applications"],
+    )
+
+
 def run(
     *,
     max_vms: int = 60,
     max_applications: int = 20,
     noise_fraction: float = 0.05,
     seed: int = 0,
+    n_jobs: int = 1,
 ) -> InferenceResult:
     """Infer components for every pool application small enough to afford.
 
@@ -48,23 +62,16 @@ def run(
     cost (the paper's 80 apps include 700-VM giants that need the same
     pipeline but minutes of compute).
     """
-    pool = [
-        tag
-        for tag in bing_pool()
-        if tag.num_tiers >= 2 and tag.size <= max_vms
-    ][:max_applications]
-    scores = []
-    for index, tag in enumerate(pool):
-        trace = synthesize_trace(
-            tag, seed=seed + index, noise_fraction=noise_fraction
-        )
-        labels = infer_components(trace, seed=seed + index)
-        scores.append(ami(trace.labels, labels))
-    return InferenceResult(
-        scores=scores,
-        mean=float(np.mean(scores)) if scores else 0.0,
-        applications=len(scores),
+    scenario = SCENARIO.override(
+        seeds=(seed,),
+        params=(
+            ("max_applications", max_applications),
+            ("max_vms", max_vms),
+            ("noise_fraction", noise_fraction),
+        ),
     )
+    (trial_result,) = Engine(n_jobs=n_jobs).run(scenario).results
+    return _to_result(trial_result)
 
 
 def to_table(result: InferenceResult) -> Table:
@@ -80,19 +87,39 @@ def to_table(result: InferenceResult) -> Table:
     return table
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--max-vms", type=int, default=60)
-    parser.add_argument("--max-applications", type=int, default=20)
-    parser.add_argument("--seed", type=int, default=0)
-    args = parser.parse_args(argv)
-    result = run(
-        max_vms=args.max_vms,
-        max_applications=args.max_applications,
-        seed=args.seed,
-    )
-    to_table(result).show()
+def present(result: ScenarioResult) -> None:
+    # One table per seed (the CLI allows --seeds sweeps).
+    for trial_result in result:
+        to_table(_to_result(trial_result)).show()
 
+
+def _set_param(key: str):
+    def apply(scenario: Scenario, value):
+        params = tuple(
+            (name, value if name == key else old) for name, old in scenario.params
+        )
+        return scenario.override(params=params)
+
+    return apply
+
+
+main = scenario_main(
+    SCENARIO,
+    __doc__,
+    present,
+    options=(
+        CliOption("--max-vms", int, 60, "per-application VM bound", _set_param("max_vms")),
+        CliOption(
+            "--max-applications",
+            int,
+            20,
+            "number of pool applications to infer",
+            _set_param("max_applications"),
+        ),
+    ),
+)
+
+registry.register(SCENARIO, present, cli=main)
 
 if __name__ == "__main__":
     main()

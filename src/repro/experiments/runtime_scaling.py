@@ -9,20 +9,24 @@ placements on an empty datacenter across tenant sizes.
 
 from __future__ import annotations
 
-import argparse
-import time
 from dataclasses import dataclass
 
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.experiments._cli import scenario_main
 from repro.experiments._table import Table
-from repro.placement.base import Placement
-from repro.simulation.runner import make_placer
-from repro.topology.builder import DatacenterSpec, three_level_tree
-from repro.topology.ledger import Ledger
-from repro.workloads.patterns import three_tier
 
-__all__ = ["run", "main", "DEFAULT_SIZES"]
+__all__ = ["run", "main", "SCENARIO", "DEFAULT_SIZES"]
 
 DEFAULT_SIZES = (25, 100, 400, 1000)
+
+SCENARIO = Scenario(
+    name="runtime",
+    title="§5.1 — single-tenant placement runtime",
+    kind="runtime",
+    variants=(Variant("cm"), Variant("ovoc"), Variant("secondnet")),
+    xs=DEFAULT_SIZES,
+    params=(("secondnet_size_cap", 120),),
+)
 
 
 @dataclass(frozen=True)
@@ -33,12 +37,17 @@ class RuntimePoint:
     placed: bool
 
 
-def _tenant(total_vms: int):
-    third = max(1, total_vms // 3)
-    web = total_vms - 2 * third
-    return three_tier(
-        f"rt-{total_vms}", (web, third, third), b1=200.0, b2=50.0, b3=20.0
-    )
+def _points(result: ScenarioResult) -> list[RuntimePoint]:
+    return [
+        RuntimePoint(
+            int(r.trial.x),
+            r.trial.variant.name,
+            r.payload["seconds"],
+            r.payload["placed"],
+        )
+        for r in result
+        if r.payload is not None  # secondnet skipped above its size cap
+    ]
 
 
 def run(
@@ -47,23 +56,15 @@ def run(
     pods: int = 2,
     algorithms: tuple[str, ...] = ("cm", "ovoc", "secondnet"),
     secondnet_size_cap: int = 120,
+    n_jobs: int = 1,
 ) -> list[RuntimePoint]:
-    spec = DatacenterSpec(pods=pods)
-    points = []
-    for vms in sizes:
-        tenant = _tenant(vms)
-        for algorithm in algorithms:
-            if algorithm == "secondnet" and vms > secondnet_size_cap:
-                continue  # O(N^2) pipes; the paper reports tens of minutes
-            topology = three_level_tree(spec)
-            placer = make_placer(algorithm, Ledger(topology))
-            started = time.perf_counter()
-            result = placer.place(tenant)
-            elapsed = time.perf_counter() - started
-            points.append(
-                RuntimePoint(vms, algorithm, elapsed, isinstance(result, Placement))
-            )
-    return points
+    scenario = SCENARIO.override(
+        xs=sizes,
+        pods=pods,
+        variants=tuple(Variant(a) for a in algorithms),
+        params=(("secondnet_size_cap", secondnet_size_cap),),
+    )
+    return _points(Engine(n_jobs=n_jobs).run(scenario))
 
 
 def to_table(points: list[RuntimePoint]) -> Table:
@@ -76,12 +77,13 @@ def to_table(points: list[RuntimePoint]) -> Table:
     return table
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--pods", type=int, default=2)
-    args = parser.parse_args(argv)
-    to_table(run(pods=args.pods)).show()
+def present(result: ScenarioResult) -> None:
+    to_table(_points(result)).show()
 
+
+main = scenario_main(SCENARIO, __doc__, present)
+
+registry.register(SCENARIO, present, cli=main)
 
 if __name__ == "__main__":
     main()

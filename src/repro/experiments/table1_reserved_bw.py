@@ -8,23 +8,26 @@ topology, arrivals only, stop at the first slot rejection.
 
 from __future__ import annotations
 
-import argparse
 from dataclasses import dataclass
 
+from repro.engine import Engine, Scenario, ScenarioResult, Variant, registry
+from repro.engine.context import POOL_NAMES
+from repro.experiments._cli import CliOption, scenario_main
 from repro.experiments._table import Table
-from repro.simulation.runner import ReservedBandwidth, measure_reserved_bandwidth
-from repro.topology.builder import DatacenterSpec
-from repro.workloads.bing import bing_pool
-from repro.workloads.hpcloud import hpcloud_pool
-from repro.workloads.synthetic import synthetic_pool
+from repro.simulation.runner import ReservedBandwidth
 
-__all__ = ["run", "main"]
+__all__ = ["run", "main", "SCENARIO"]
 
-_POOLS = {
-    "bing": bing_pool,
-    "hpcloud": hpcloud_pool,
-    "synthetic": synthetic_pool,
-}
+SCENARIO = Scenario(
+    name="table1",
+    title="Table 1 — reserved bandwidth per network level",
+    kind="reserved",
+    pool="bing",
+    variants=(Variant("cm+voc+ovoc", "cm"),),
+    bmaxes=(800.0,),
+    seeds=(1,),
+    pods=8,
+)
 
 
 @dataclass(frozen=True)
@@ -33,19 +36,14 @@ class Table1Result:
     table: Table
 
 
-def run(
-    *,
-    workload: str = "bing",
-    pods: int = 8,
-    bmax: float = 800.0,
-    seed: int = 1,
-) -> Table1Result:
-    pool = _POOLS[workload]()
-    spec = DatacenterSpec(pods=pods)
-    reserved = measure_reserved_bandwidth(pool, bmax=bmax, spec=spec, seed=seed)
+def _to_result(trial_result) -> Table1Result:
+    reserved: ReservedBandwidth = trial_result.payload
+    trial = trial_result.trial
     table = Table(
-        f"Table 1 — reserved bandwidth (Gbps), {workload} workload, "
-        f"{spec.num_servers} servers, {reserved.tenants_deployed} tenants",
+        f"Table 1 — reserved bandwidth (Gbps), {trial.pool} workload, "
+        f"{trial.topology.spec.num_servers} servers, "
+        f"B_max {trial.bmax:.0f}, seed {trial.seed}, "
+        f"{reserved.tenants_deployed} tenants",
         ("algorithm", "server", "tor", "agg"),
     )
 
@@ -61,18 +59,56 @@ def run(
     return Table1Result(reserved=reserved, table=table)
 
 
-def main(argv: list[str] | None = None) -> None:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workload", choices=sorted(_POOLS), default="bing")
-    parser.add_argument("--pods", type=int, default=8, help="8 = paper scale (2048 servers)")
-    parser.add_argument("--bmax", type=float, default=800.0)
-    parser.add_argument("--seed", type=int, default=1)
-    args = parser.parse_args(argv)
-    result = run(
-        workload=args.workload, pods=args.pods, bmax=args.bmax, seed=args.seed
+def run(
+    *,
+    workload: str = "bing",
+    pods: int = 8,
+    bmax: float = 800.0,
+    seed: int = 1,
+    n_jobs: int = 1,
+) -> Table1Result:
+    scenario = SCENARIO.override(
+        pool=workload, pods=pods, bmaxes=(bmax,), seeds=(seed,)
     )
-    result.table.show()
+    (trial_result,) = Engine(n_jobs=n_jobs).run(scenario).results
+    return _to_result(trial_result)
 
+
+def present(result: ScenarioResult) -> None:
+    # One table per grid point (the CLI allows --seeds/--bmax sweeps).
+    for trial_result in result:
+        _to_result(trial_result).table.show()
+
+
+def _str_choice(value: str) -> str:
+    if value not in POOL_NAMES:
+        raise ValueError(f"workload must be one of {POOL_NAMES}")
+    return value
+
+
+main = scenario_main(
+    SCENARIO,
+    __doc__,
+    present,
+    options=(
+        CliOption(
+            "--workload",
+            _str_choice,
+            "bing",
+            f"tenant pool, one of {POOL_NAMES}",
+            lambda scenario, value: scenario.override(pool=value),
+        ),
+        CliOption(
+            "--bmax",
+            float,
+            800.0,
+            "per-VM bandwidth scale (Mbps)",
+            lambda scenario, value: scenario.override(bmaxes=(value,)),
+        ),
+    ),
+)
+
+registry.register(SCENARIO, present, cli=main)
 
 if __name__ == "__main__":
     main()

@@ -21,7 +21,7 @@ from typing import Callable, Iterator, Mapping
 
 from repro.core.bandwidth import BandwidthDemand, uplink_requirement
 from repro.core.tag import Tag
-from repro.errors import ReproError
+from repro.errors import ReproError, TagError
 from repro.topology.ledger import Journal, Ledger
 from repro.topology.tree import Node
 
@@ -32,13 +32,9 @@ def _resize_tag(tag: Tag, tier: str, delta: int) -> Tag:
     """A copy of ``tag`` with ``tier`` grown (or shrunk) by ``delta`` VMs."""
     component = tag.component(tier)
     if component.size is None or component.external:
-        from repro.errors import TagError
-
         raise TagError(f"cannot resize external component {tier!r}")
     new_size = component.size + delta
     if new_size < 1:
-        from repro.errors import TagError
-
         raise TagError(f"resize would leave {tier!r} with {new_size} VMs")
     resized = Tag(tag.name)
     for comp in tag.components.values():

@@ -85,7 +85,13 @@ def simulate_rejections(
     ha: HaPolicy | None = None,
     laa_level: int = 0,
 ) -> RunMetrics:
-    """One §5.1 run: scale pool to B_max, stream arrivals, collect metrics."""
+    """One §5.1 run: scale pool to B_max, stream arrivals, collect metrics.
+
+    This is the standalone single-run primitive.  Sweeps should go
+    through ``repro.engine``, whose ``build_context`` caches reuse the
+    scaled pool and topology across trials; the engine's rejection
+    runner is pinned to this function by an equivalence test.
+    """
     scaled = scale_pool(pool, bmax)
     topology = three_level_tree(spec)
     ledger = Ledger(topology)
@@ -123,14 +129,20 @@ def measure_reserved_bandwidth(
     spec: DatacenterSpec,
     seed: int = 0,
     max_arrivals: int = 20_000,
+    topology=None,
 ) -> ReservedBandwidth:
-    """The Table 1 experiment (see module docstring)."""
+    """The Table 1 experiment (see module docstring).
+
+    ``topology`` optionally supplies a prebuilt *unlimited* tree (shared
+    safely by both ledgers — topologies are immutable).
+    """
     scaled = scale_pool(pool, bmax)
     rng = np.random.default_rng(seed)
     indices = [int(i) for i in rng.integers(0, len(scaled), size=max_arrivals)]
 
     # CM placing TAGs on the idealized topology.
-    topology = three_level_tree(spec, unlimited=True)
+    if topology is None:
+        topology = three_level_tree(spec, unlimited=True)
     cm_ledger = Ledger(topology)
     cm_manager = ClusterManager(
         cm_ledger, CloudMirrorPlacer(cm_ledger), collect_wcs=False
@@ -148,8 +160,7 @@ def measure_reserved_bandwidth(
             cm_voc[ReservedBandwidth.LEVELS[node.level]] += requirement.out / 1000.0
 
     # Oktopus deploying the same accepted tenants as VOCs.
-    ovoc_topology = three_level_tree(spec, unlimited=True)
-    ovoc_ledger = Ledger(ovoc_topology)
+    ovoc_ledger = Ledger(topology)
     ovoc_manager = ClusterManager(
         ovoc_ledger, OktopusPlacer(ovoc_ledger), collect_wcs=False
     )

@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "autoscaling.py",
     "infer_tag_from_traffic.py",
     "enforcement_dynamics.py",
+    "scenario_engine.py",
 ]
 
 

@@ -14,7 +14,22 @@ class TestTopLevelExports:
             assert getattr(repro, name) is not None
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
+
+    def test_setup_py_reads_same_version(self):
+        # The same extraction setup.py performs must yield the version
+        # the package reports, and setup.py must not hardcode its own.
+        import re
+        from pathlib import Path
+
+        root = Path(repro.__file__).parents[2]
+        init_text = (root / "src" / "repro" / "__init__.py").read_text()
+        extracted = re.search(r'^__version__ = "(.+?)"', init_text, re.M)
+        assert extracted is not None
+        assert extracted.group(1) == repro.__version__
+        setup_text = (root / "setup.py").read_text()
+        assert "version=VERSION" in setup_text
+        assert f'version="{repro.__version__}"' not in setup_text
 
     def test_quickstart_docstring_example_works(self):
         from repro import CloudMirrorPlacer, Ledger, Placement, Tag, paper_datacenter
@@ -34,6 +49,7 @@ class TestSubpackageExports:
         "module_name",
         [
             "repro.core",
+            "repro.engine",
             "repro.models",
             "repro.topology",
             "repro.placement",
