@@ -1,0 +1,57 @@
+"""Benchmark: results-store overhead and warm-run speedup.
+
+Runs a fig08 seed sweep cold (computing + recording every trial) and
+warm (serving everything from the store), asserts the warm pass is 100%
+cache hits, and writes ``BENCH_results_store.json`` to the working
+directory so the store's perf trajectory is recorded across revisions.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.engine import Engine, registry
+from repro.results import ResultStore
+
+OUTPUT = Path("BENCH_results_store.json")
+
+
+def test_results_store_cold_vs_warm(tmp_path, bench_pods, bench_arrivals):
+    scenario = registry.get("fig08").scenario.override(
+        pods=bench_pods,
+        arrivals=max(bench_arrivals, 200),
+        loads=(0.5, 0.9),
+        seeds=(0, 1, 2),
+    )
+    engine = Engine()
+    store = ResultStore(tmp_path / "bench.sqlite")
+
+    started = time.perf_counter()
+    cold = engine.run(scenario, store=store)
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm = engine.run(scenario, store=store)
+    warm_seconds = time.perf_counter() - started
+
+    assert cold.cache_hits == 0 and cold.executed == scenario.trial_count
+    assert warm.cache_hits == scenario.trial_count and warm.executed == 0
+    assert warm_seconds < cold_seconds, "warm pass must beat recomputing"
+
+    report = {
+        "benchmark": "results_store",
+        "scenario": scenario.name,
+        "trials": scenario.trial_count,
+        "arrivals": scenario.arrivals,
+        "pods": bench_pods,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 1),
+        "store_bytes": (tmp_path / "bench.sqlite").stat().st_size,
+        "python": platform.python_version(),
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))

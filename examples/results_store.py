@@ -1,0 +1,78 @@
+"""The results store end to end: cache, resume, shard/merge, CIs.
+
+Runs a small fig08 grid against a persistent store twice (the second
+pass is pure cache hits), then simulates the two-machine shard workflow
+and renders seed-replicated mean ± bootstrap-CI statistics from the
+merged store.
+
+Run with:  PYTHONPATH=src python examples/results_store.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.engine import Engine, registry
+from repro.results import (
+    ResultStore,
+    aggregate,
+    aggregate_chart,
+    aggregate_table,
+    samples_from_store,
+)
+
+
+def main() -> None:
+    scenario = registry.get("fig08").scenario.override(
+        pods=1, arrivals=60, loads=(0.3, 0.6, 0.9), seeds=(0, 1, 2)
+    )
+    engine = Engine()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_path = Path(tmp)
+
+        # -- persistent + resumable -----------------------------------
+        store = ResultStore(tmp_path / "runs.sqlite")
+        first = engine.run(scenario, store=store)
+        print(
+            f"first run : {first.executed} executed, "
+            f"{first.cache_hits} cached ({first.elapsed:.2f}s)"
+        )
+        second = engine.run(scenario, store=store)
+        print(
+            f"second run: {second.executed} executed, "
+            f"{second.cache_hits} cached ({second.elapsed:.2f}s)"
+        )
+        assert second.executed == 0, "second pass must be pure cache hits"
+
+        # -- shard across "machines", then merge ----------------------
+        shard_a = ResultStore(tmp_path / "a.sqlite")
+        shard_b = ResultStore(tmp_path / "b.sqlite")
+        engine.run(scenario, store=shard_a, shard=(0, 2))  # machine A
+        engine.run(scenario, store=shard_b, shard=(1, 2))  # machine B
+        merged = ResultStore(tmp_path / "merged.sqlite")
+        added = merged.merge_from([shard_a, shard_b])
+        print(f"\nmerged {added} rows from 2 shard stores")
+
+        full = [(r.fingerprint, r.payload_json) for r in store.rows()]
+        combined = [(r.fingerprint, r.payload_json) for r in merged.rows()]
+        assert full == combined, "shard merge must be bit-identical"
+        print("shard merge is bit-identical to the full-matrix store")
+
+        # -- seed-replicated statistics -------------------------------
+        aggregates = aggregate(
+            samples_from_store(merged, scenario=scenario.name),
+            metric="bw_rejection_rate",
+        )
+        print()
+        aggregate_table(
+            aggregates, "fig08 — BW rejection across 3 seeds (95% CI)"
+        ).show()
+        chart = aggregate_chart(aggregates, "bw_rejection_rate")
+        if chart:
+            print(chart)
+
+
+if __name__ == "__main__":
+    main()

@@ -5,12 +5,20 @@
     repro list                       # registered scenarios
     repro run fig08 --jobs 4         # run one scenario in parallel
     repro run fig07 --seeds 0,1,2    # grid overrides
+    repro run fig08 --store runs.sqlite      # persistent + resumable
+    repro run fig08 --store a.sqlite --shard 0/2   # this machine's half
+    repro results list runs.sqlite   # inspect / aggregate stored runs
     repro fig08 --pods 1             # shorthand for "run fig08 --pods 1"
 
 ``run`` accepts grid overrides (``--seeds``, ``--loads``, ``--bmax``,
 ``--placers``, ``--pods``, ``--arrivals``) that rewrite the registered
 scenario's axes, plus ``--jobs N`` to execute the trial matrix over N
-worker processes (``--jobs 0`` = one per CPU).  The legacy
+worker processes (``--jobs 0`` = one per CPU; default: ``os.cpu_count()``
+capped at 8, serial for wall-clock kinds).  ``--store PATH`` makes the
+run persistent: already-computed trials are served from the store and
+fresh ones are recorded as they finish, so an interrupted run resumes.
+``--shard i/n`` runs one deterministic stride of the matrix; combine
+per-shard stores with ``repro results merge``.  The legacy
 ``repro-experiment <name>`` spelling keeps working via the shorthand.
 """
 
@@ -19,7 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.engine import Engine, Scenario, Variant, kind_axes, registry
+from repro.engine import Engine, Scenario, Variant, default_jobs, kind_axes, registry
 from repro.errors import EngineError, ReproError
 
 __all__ = ["main"]
@@ -53,7 +61,20 @@ def _build_run_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("name", help="scenario name or alias (see 'repro list')")
     parser.add_argument(
-        "--jobs", type=int, default=1, help="worker processes (0 = one per CPU)"
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (0 = one per CPU; default: cpu_count capped "
+        "at 8, serial for wall-clock kinds)",
+    )
+    parser.add_argument(
+        "--store",
+        help="results store path: skip cached trials, record fresh ones",
+    )
+    parser.add_argument(
+        "--shard",
+        help="run one stride i/n of the trial matrix (e.g. 0/2); "
+        "requires --store",
     )
     parser.add_argument("--seeds", type=_int_list, help="seed grid, e.g. 0,1,2")
     parser.add_argument("--loads", type=_float_list, help="load grid, e.g. 0.5,0.9")
@@ -115,17 +136,33 @@ def _run(argv: list[str]) -> int:
             f"{entry.scenario.name!r} (kind {entry.scenario.kind!r})"
         )
         return 2
+    if args.shard is not None and args.store is None:
+        print("error: --shard needs --store (a shard's results must be "
+              "persisted to be merged)")
+        return 2
+    store = shard = None
     try:
         scenario = _apply_overrides(entry.scenario, args)
-        result = Engine(n_jobs=args.jobs).run(scenario)
+        jobs = args.jobs if args.jobs is not None else default_jobs(scenario.kind)
+        if args.store is not None:
+            from repro.results import ResultStore, parse_shard
+
+            store = ResultStore(args.store)
+            if args.shard is not None:
+                shard = parse_shard(args.shard)
+        result = Engine(n_jobs=jobs).run(scenario, store=store, shard=shard)
         entry.present(result)
     except ReproError as error:
         print(f"error: {error}")
         return 1
+    finally:
+        if store is not None:
+            store.close()
     trials = "trial" if len(result) == 1 else "trials"
+    cached = f", {result.cache_hits} cached" if args.store is not None else ""
     print(
         f"[{scenario.name}] {len(result)} {trials} in {result.elapsed:.2f}s "
-        f"(n_jobs={result.n_jobs})"
+        f"(n_jobs={result.n_jobs}{cached})"
     )
     return 0
 
@@ -160,6 +197,10 @@ def main(argv: list[str] | None = None) -> int:
             return _list_scenarios()
         if argv[0] == "run":
             return _run(argv[1:])
+        if argv[0] == "results":
+            from repro.results.cli import results_main
+
+            return results_main(argv[1:])
         return _shorthand(argv[0], argv[1:])
     except BrokenPipeError:
         # Piped into head/less that exited: not an error.  Detach stdout

@@ -24,7 +24,7 @@ from repro.engine.context import (
     get_scaled_pool,
     get_topology,
 )
-from repro.engine.engine import Engine
+from repro.engine.engine import MAX_AUTO_JOBS, Engine, default_jobs
 from repro.engine.runners import (
     KIND_AXES,
     RUNNERS,
@@ -44,6 +44,7 @@ from repro.engine.scenario import (
 __all__ = [
     "Engine",
     "KIND_AXES",
+    "MAX_AUTO_JOBS",
     "POOL_NAMES",
     "RUNNERS",
     "RegisteredScenario",
@@ -55,6 +56,7 @@ __all__ = [
     "TrialResult",
     "Variant",
     "build_context",
+    "default_jobs",
     "execute_trial",
     "get_pool",
     "kind_axes",

@@ -7,18 +7,45 @@ trial carries its own seed from the scenario's seed grid), so the result
 list is identical — bit-for-bit on every metric — whichever mode runs
 it; only wall-clock fields differ.  Results always come back in grid
 order regardless of worker scheduling.
+
+``run(..., store=...)`` makes a run persistent and resumable: trials
+whose fingerprint is already in the store are served from it without
+executing, and every miss is recorded the moment it completes, so an
+interrupted sweep picks up where it left off.  ``run(..., shard=(i,
+n))`` executes only the i-th deterministic stride of the matrix — each
+shard writes its own store and ``repro results merge`` recombines them.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
+from typing import Any, Callable
 
 from repro.engine.runners import SERIAL_ONLY_KINDS, execute_trial
 from repro.engine.scenario import Scenario, ScenarioResult, Trial, TrialResult
 from repro.errors import EngineError
 
-__all__ = ["Engine"]
+__all__ = ["Engine", "MAX_AUTO_JOBS", "default_jobs"]
+
+# Cap for the automatic --jobs default: spawn startup (a fresh
+# interpreter importing numpy + repro per worker) outgrows the win
+# beyond this for the grid sizes the scenarios ship with.  Explicit
+# --jobs N overrides the cap.
+MAX_AUTO_JOBS = 8
+
+
+def default_jobs(kind: str | None = None) -> int:
+    """Worker count used when the caller doesn't pass ``--jobs``.
+
+    Resolves to ``os.cpu_count()`` capped at :data:`MAX_AUTO_JOBS`.
+    Wall-clock kinds (:data:`SERIAL_ONLY_KINDS`, e.g. ``runtime``) pin
+    to 1 — their payload is a timing that CPU contention would corrupt.
+    """
+    if kind is not None and kind in SERIAL_ONLY_KINDS:
+        return 1
+    return max(1, min(os.cpu_count() or 1, MAX_AUTO_JOBS))
 
 
 class Engine:
@@ -45,37 +72,92 @@ class Engine:
         """The scenario's flat, ordered trial matrix (no execution)."""
         return scenario.expand()
 
-    def run(self, scenario: Scenario) -> ScenarioResult:
+    def run(
+        self,
+        scenario: Scenario,
+        *,
+        store: Any | None = None,
+        shard: Any | None = None,
+    ) -> ScenarioResult:
         """Execute every trial of ``scenario``; results in grid order.
+
+        ``store`` is any object with the
+        :class:`~repro.results.store.ResultStore` protocol
+        (``cached_result(trial)`` / ``record(result)``): hits skip
+        execution, misses are recorded as they complete.  ``shard`` is a
+        :class:`~repro.results.sharding.ShardSpec` (or a plain ``(index,
+        count)`` tuple) restricting the run to that deterministic stride
+        of the matrix.
 
         Kinds in :data:`SERIAL_ONLY_KINDS` (wall-clock measurements)
         always run serially — concurrent workers would contend for CPU
         and corrupt the timings that are their payload.
         """
         trials = self.expand(scenario)
-        # Effective worker count — what actually ran, reported as
-        # ScenarioResult.n_jobs: serial-only kinds and sub-2-trial grids
-        # never use a pool, and a pool never outnumbers the trials.
-        if scenario.kind in SERIAL_ONLY_KINDS or len(trials) < 2:
-            n_jobs = 1
-        else:
-            n_jobs = min(self.n_jobs, len(trials))
+        if shard is not None:
+            if isinstance(shard, tuple):
+                # Lazy import: repro.results depends on repro.engine, so
+                # the reverse edge must not exist at module-import time.
+                from repro.results.sharding import ShardSpec
+
+                shard = ShardSpec(*shard)
+            trials = shard.select(trials)
+
         started = time.perf_counter()
-        if n_jobs == 1:
-            results = [execute_trial(trial) for trial in trials]
-        else:
-            results = self._run_parallel(trials, n_jobs)
-        return ScenarioResult(
-            scenario=scenario,
-            results=results,
-            n_jobs=n_jobs,
-            elapsed=time.perf_counter() - started,
+        by_index: dict[int, TrialResult] = {}
+        pending = trials
+        if store is not None:
+            pending = []
+            for trial in trials:
+                hit = store.cached_result(trial)
+                if hit is not None:
+                    by_index[trial.index] = hit
+                else:
+                    pending.append(trial)
+        record: Callable[[TrialResult], Any] | None = (
+            store.record if store is not None else None
         )
 
-    def _run_parallel(self, trials: list[Trial], workers: int) -> list[TrialResult]:
+        # Effective worker count — what actually ran, reported as
+        # ScenarioResult.n_jobs: serial-only kinds and sub-2-trial
+        # workloads never use a pool, and a pool never outnumbers the
+        # trials left to execute after cache hits.
+        if scenario.kind in SERIAL_ONLY_KINDS or len(pending) < 2:
+            n_jobs = 1
+        else:
+            n_jobs = min(self.n_jobs, len(pending))
+        if n_jobs == 1:
+            for trial in pending:
+                result = execute_trial(trial)
+                if record is not None:
+                    record(result)
+                by_index[trial.index] = result
+        else:
+            self._run_parallel(pending, n_jobs, by_index, record)
+        return ScenarioResult(
+            scenario=scenario,
+            results=[by_index[trial.index] for trial in trials],
+            n_jobs=n_jobs,
+            elapsed=time.perf_counter() - started,
+            cache_hits=len(trials) - len(pending),
+        )
+
+    def _run_parallel(
+        self,
+        trials: list[Trial],
+        workers: int,
+        by_index: dict[int, TrialResult],
+        record: Callable[[TrialResult], Any] | None,
+    ) -> None:
         context = multiprocessing.get_context(self.mp_context)
         # chunksize=1: trial runtimes vary wildly across a grid (a 90%
         # load point costs far more than a 10% one), so fine-grained
-        # dispatch beats pre-chunking.  pool.map preserves input order.
+        # dispatch beats pre-chunking.  imap_unordered lets each result
+        # reach the store the moment its worker finishes — an
+        # interrupted parallel run keeps everything completed so far —
+        # and grid order is restored from the trial indices afterwards.
         with context.Pool(processes=workers) as pool:
-            return pool.map(execute_trial, trials, chunksize=1)
+            for result in pool.imap_unordered(execute_trial, trials, chunksize=1):
+                if record is not None:
+                    record(result)
+                by_index[result.trial.index] = result

@@ -226,7 +226,13 @@ def register_runner(kind: str, runner: Callable[[Trial], Any]) -> None:
 
 
 def execute_trial(trial: Trial) -> TrialResult:
-    """Run one trial through its kind's runner, timing the wall clock."""
+    """Run one trial through its kind's runner, timing the wall clock.
+
+    The timing source must stay ``time.perf_counter()``: elapsed values
+    are persisted by the results store and compared across runs, so they
+    have to be monotonic and immune to wall-clock adjustments (NTP
+    slews, DST) that would corrupt a ``time.time()`` delta.
+    """
     runner = RUNNERS.get(trial.kind)
     if runner is None:
         raise EngineError(

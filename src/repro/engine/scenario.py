@@ -225,11 +225,17 @@ def _canonical(obj: Any) -> Any:
 
 @dataclass(frozen=True)
 class TrialResult:
-    """One trial's outcome: the kind-specific payload plus wall time."""
+    """One trial's outcome: the kind-specific payload plus wall time.
+
+    ``cached`` marks results served from a
+    :class:`~repro.results.store.ResultStore` instead of executed;
+    ``elapsed`` then reports the *original* execution's wall time.
+    """
 
     trial: Trial
     payload: Any
     elapsed: float
+    cached: bool = False
 
     def fingerprint(self) -> str:
         """Deterministic identity of the trial and its metrics.
@@ -243,12 +249,21 @@ class TrialResult:
 
 @dataclass
 class ScenarioResult:
-    """All trial results of one engine run, in grid order."""
+    """All trial results of one engine run, in grid order.
+
+    ``cache_hits`` counts the results served from a store instead of
+    executed; ``len(result) - result.cache_hits`` trials actually ran.
+    """
 
     scenario: Scenario
     results: list[TrialResult] = field(default_factory=list)
     n_jobs: int = 1
     elapsed: float = 0.0
+    cache_hits: int = 0
+
+    @property
+    def executed(self) -> int:
+        return len(self.results) - self.cache_hits
 
     def __iter__(self) -> Iterator[TrialResult]:
         return iter(self.results)

@@ -68,3 +68,8 @@ class EnforcementError(ReproError):
 
 class EngineError(ReproError):
     """Raised for invalid scenario definitions or engine configuration."""
+
+
+class ResultsError(ReproError):
+    """Raised for results-store misuse: missing codecs, malformed shard
+    specs, or stores that cannot be opened or merged."""

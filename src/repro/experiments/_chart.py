@@ -23,13 +23,22 @@ def line_chart(
     height: int = 16,
     y_label: str = "",
     x_label: str = "",
+    bands: Mapping[str, Sequence[tuple[float, float, float]]] | None = None,
 ) -> str:
-    """Render named ``(x, y)`` series on one shared-axis scatter chart."""
+    """Render named ``(x, y)`` series on one shared-axis scatter chart.
+
+    ``bands`` optionally adds per-series ``(x, y_low, y_high)`` intervals
+    (confidence bands from seed-replicated runs), drawn as ``:`` columns
+    underneath the series markers and included in the y-axis range.
+    """
+    bands = bands or {}
     points = [(x, y) for pts in series.values() for x, y in pts]
     if not points:
         return f"{title}\n(no data)"
-    xs = [p[0] for p in points]
-    ys = [p[1] for p in points]
+    xs = [p[0] for p in points] + [x for pts in bands.values() for x, _, _ in pts]
+    ys = [p[1] for p in points] + [
+        y for pts in bands.values() for _, low, high in pts for y in (low, high)
+    ]
     x_low, x_high = min(xs), max(xs)
     y_low, y_high = min(ys), max(ys)
     if x_high == x_low:
@@ -37,13 +46,24 @@ def line_chart(
     if y_high == y_low:
         y_high = y_low + 1.0
 
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        return height - 1 - row, col
+
     grid = [[" "] * width for _ in range(height)]
+    # Bands first so series markers draw over them.
+    for pts in bands.values():
+        for x, low, high in pts:
+            top, col = cell(x, high)
+            bottom, _ = cell(x, low)
+            for row in range(top, bottom + 1):
+                grid[row][col] = ":"
     for index, (name, pts) in enumerate(series.items()):
         marker = _MARKERS[index % len(_MARKERS)]
         for x, y in pts:
-            col = round((x - x_low) / (x_high - x_low) * (width - 1))
-            row = round((y - y_low) / (y_high - y_low) * (height - 1))
-            grid[height - 1 - row][col] = marker
+            row, col = cell(x, y)
+            grid[row][col] = marker
 
     lines = []
     if title:

@@ -13,7 +13,7 @@ import argparse
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.engine import Engine, Scenario, ScenarioResult, kind_axes
+from repro.engine import Engine, Scenario, ScenarioResult, default_jobs, kind_axes
 
 __all__ = ["CliOption", "scenario_main"]
 
@@ -56,8 +56,11 @@ def scenario_main(
         parser.add_argument(
             "--jobs",
             type=int,
-            default=1,
-            help="worker processes for the trial matrix (0 = one per CPU)",
+            # Parallel-safe kinds default to cpu_count capped at
+            # MAX_AUTO_JOBS; wall-clock kinds (runtime) stay serial.
+            default=default_jobs(scenario.kind),
+            help="worker processes for the trial matrix (0 = one per CPU; "
+            "default: cpu_count capped at 8, serial for wall-clock kinds)",
         )
         for option in options:
             parser.add_argument(

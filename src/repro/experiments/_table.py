@@ -5,7 +5,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-__all__ = ["Table"]
+__all__ = ["Table", "format_mean_ci"]
+
+
+def format_mean_ci(
+    mean: float, low: float, high: float, fmt: str = "{:.3g}"
+) -> str:
+    """``mean [low, high]`` cell text for seed-replicated statistics.
+
+    A degenerate interval (single replica: low == mean == high) renders
+    as the bare mean so single-seed tables stay uncluttered.
+    """
+    if low == mean == high:
+        return fmt.format(mean)
+    return f"{fmt.format(mean)} [{fmt.format(low)}, {fmt.format(high)}]"
 
 
 @dataclass

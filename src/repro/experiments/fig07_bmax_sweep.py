@@ -85,6 +85,14 @@ def to_table(points: list[SweepPoint]) -> Table:
 
 def present(result: ScenarioResult) -> None:
     to_table(_points(result)).show()
+    # Seed-replicated grids additionally get mean ± bootstrap CI rows.
+    from repro.results.present import seed_replicated_summary
+
+    summary = seed_replicated_summary(
+        result, metric="bw_rejection_rate", axis="bmax"
+    )
+    if summary:
+        print(summary)
 
 
 main = scenario_main(SCENARIO, __doc__, present)

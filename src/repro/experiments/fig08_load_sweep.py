@@ -95,6 +95,15 @@ def present(result: ScenarioResult) -> None:
     points = _points(result)
     to_table(points).show()
     print(to_chart(points))
+    # Seed-replicated grids additionally get mean ± bootstrap CI rows
+    # and a banded chart.
+    from repro.results.present import seed_replicated_summary
+
+    summary = seed_replicated_summary(
+        result, metric="bw_rejection_rate", axis="load"
+    )
+    if summary:
+        print(summary)
 
 
 main = scenario_main(SCENARIO, __doc__, present)

@@ -1,0 +1,87 @@
+"""Stable content identity for fully-bound trials.
+
+A fingerprint is a SHA-256 over the canonical JSON encoding of every
+trial field that influences its payload — kind, pool, variant (placer +
+HA policy), topology spec, load, B_max, seed, the kind-specific ``x``
+axis, arrivals, LAA level and params — plus the per-kind codec version.
+Two trials with equal fingerprints compute the same payload, whatever
+scenario, process, or machine expanded them.
+
+Deliberately excluded:
+
+* ``Trial.scenario`` and ``Trial.index`` — grid bookkeeping.  A fig07
+  point at (load 0.7, B_max 800) is the same computation when fig08
+  sweeps through it, so the two scenarios share cache entries.
+* ``TopologyCase.label`` — display only; the runner consumes the spec.
+
+Floats are encoded via ``repr`` so the identity is bit-exact: a trial
+at load ``0.30000000000000004`` never collides with one at ``0.3``.
+Bumping a kind's codec version (see :mod:`repro.results.codecs`)
+invalidates every stored entry of that kind, because schema changes make
+old payloads undecodable — ``repro results gc`` reclaims them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from repro.engine.scenario import Trial
+from repro.errors import ResultsError
+
+__all__ = ["canonical_trial", "trial_fingerprint"]
+
+
+def _norm(value: Any) -> Any:
+    """Normalize one value into a canonically JSON-encodable form."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return repr(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _norm(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): _norm(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_norm(item) for item in value]
+    raise ResultsError(
+        f"cannot fingerprint value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def canonical_trial(trial: Trial) -> dict[str, Any]:
+    """The trial's identity as a plain JSON-able dict (see module doc)."""
+    return {
+        "kind": trial.kind,
+        "pool": trial.pool,
+        "variant": {
+            "name": trial.variant.name,
+            "placer": trial.variant.placer,
+            "ha": _norm(trial.variant.ha),
+        },
+        "topology": _norm(trial.topology.spec),
+        "load": repr(trial.load),
+        "bmax": repr(trial.bmax),
+        "seed": trial.seed,
+        "x": _norm(trial.x),
+        "arrivals": trial.arrivals,
+        "laa_level": trial.laa_level,
+        "params": [[key, _norm(value)] for key, value in trial.params],
+    }
+
+
+def trial_fingerprint(trial: Trial) -> str:
+    """Hex SHA-256 identity of ``trial`` + its kind's codec version."""
+    from repro.results.codecs import codec_version
+
+    document = {
+        "trial": canonical_trial(trial),
+        "codec_version": codec_version(trial.kind),
+    }
+    encoded = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()

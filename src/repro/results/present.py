@@ -1,0 +1,134 @@
+"""CI-aware presentation: aggregates rendered through _table/_chart.
+
+Bridges the aggregation layer to the existing experiment presenters: a
+grid point that was run under several seeds renders as ``mean [low,
+high]`` cells (95% bootstrap CI) and the sweep charts grow ``:``
+confidence bands.  Experiment modules call
+:func:`seed_replicated_summary` from their presenters; the ``repro
+results`` CLI uses the table/chart builders directly on a store.
+
+The ``repro.experiments`` helpers are imported lazily so that importing
+:mod:`repro.results` does not drag in (and register) every experiment
+module.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.scenario import ScenarioResult
+from repro.results.aggregate import Aggregate, aggregate, samples_from_results
+
+__all__ = [
+    "aggregate_chart",
+    "aggregate_table",
+    "seed_replicated_summary",
+    "store_summary_table",
+]
+
+
+def aggregate_table(aggregates: Sequence[Aggregate], title: str):
+    """Aggregates as a text table, one row per (grid point, metric)."""
+    from repro.experiments._table import Table, format_mean_ci
+
+    table = Table(
+        title,
+        ("variant", "topology", "load", "bmax", "x", "metric", "seeds",
+         "mean [95% CI]"),
+    )
+    for agg in aggregates:
+        table.add(
+            agg.variant,
+            agg.topology,
+            f"{agg.load:g}",
+            f"{agg.bmax:g}",
+            "-" if agg.x is None else str(agg.x),
+            agg.metric,
+            agg.n,
+            format_mean_ci(agg.mean, agg.ci_low, agg.ci_high),
+        )
+    return table
+
+
+def _sweep_axis(aggregates: Sequence[Aggregate]) -> str | None:
+    """The numeric axis that actually varies across the grid points."""
+    for axis in ("load", "bmax", "x"):
+        values = {agg.axis_values[axis] for agg in aggregates}
+        if None not in values and len(values) > 1:
+            return axis
+    return None
+
+
+def aggregate_chart(
+    aggregates: Sequence[Aggregate],
+    metric: str,
+    *,
+    axis: str | None = None,
+    title: str = "",
+) -> str | None:
+    """Mean-per-variant sweep chart with CI bands, or ``None`` when the
+    grid has no varying numeric axis to sweep along."""
+    from repro.experiments._chart import line_chart
+
+    selected = [agg for agg in aggregates if agg.metric == metric]
+    if not selected:
+        return None
+    axis = axis or _sweep_axis(selected)
+    if axis is None:
+        return None
+    series: dict[str, list[tuple[float, float]]] = {}
+    bands: dict[str, list[tuple[float, float, float]]] = {}
+    for agg in selected:
+        at = agg.axis_values[axis]
+        if at is None:
+            continue
+        series.setdefault(agg.variant, []).append((at, agg.mean))
+        bands.setdefault(agg.variant, []).append((at, agg.ci_low, agg.ci_high))
+    if not series:
+        return None
+    return line_chart(
+        series,
+        title=title or f"{metric} vs {axis} (mean, : = 95% CI)",
+        x_label=axis,
+        bands=bands,
+    )
+
+
+def seed_replicated_summary(
+    result: ScenarioResult, *, metric: str, axis: str | None = None
+) -> str | None:
+    """Mean ± CI rendering of a multi-seed run, ``None`` for single-seed.
+
+    The hook experiment presenters call after their per-trial output:
+    with one seed there is nothing to aggregate and the summary stays
+    silent; with a seed grid it returns a table plus (when the scenario
+    sweeps a numeric axis) a banded chart.
+    """
+    seeds = {r.trial.seed for r in result}
+    if len(seeds) < 2:
+        return None
+    aggregates = aggregate(samples_from_results(result.results), metric=metric)
+    if not aggregates:
+        return None
+    name = result.scenario.name
+    table = aggregate_table(
+        aggregates, f"{name} — {metric} across {len(seeds)} seeds (95% CI)"
+    )
+    parts = [table.to_text()]
+    chart = aggregate_chart(aggregates, metric, axis=axis)
+    if chart:
+        parts.append(chart)
+    return "\n\n".join(parts)
+
+
+def store_summary_table(store):
+    """`repro results list` rollup: rows and compute time per scenario."""
+    from repro.experiments._table import Table
+
+    table = Table(
+        f"results store {store.path}",
+        ("scenario", "kind", "rows", "compute (s)"),
+    )
+    for scenario, kind, count, elapsed in store.summary():
+        table.add(scenario, kind, count, f"{elapsed:.2f}")
+    return table

@@ -1,0 +1,59 @@
+"""Deterministic partitioning of a trial matrix across machines.
+
+A shard spec ``i/n`` selects the trials whose grid index is congruent to
+``i`` modulo ``n``.  The partition is a pure function of the scenario
+(every machine expands the same matrix and picks a disjoint stride), so
+``repro run fig08 --shard 0/2 --store a.sqlite`` on one host and
+``--shard 1/2 --store b.sqlite`` on another cover the full matrix with
+no coordination; ``repro results merge`` combines the stores afterwards.
+
+Striding (rather than contiguous blocks) balances load: grid axes are
+typically ordered from cheap to expensive points (low to high load), so
+blocks would hand one shard all the expensive trials.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.scenario import Trial
+from repro.errors import ResultsError
+
+__all__ = ["ShardSpec", "parse_shard"]
+
+_SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Shard ``index`` of ``count`` total (0-based, index < count)."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ResultsError(f"shard count must be >= 1, got {self.count}")
+        if not 0 <= self.index < self.count:
+            raise ResultsError(
+                f"shard index must be in [0, {self.count}), got {self.index}"
+            )
+
+    def select(self, trials: Sequence[Trial]) -> list[Trial]:
+        """This shard's strided slice, original grid indices preserved."""
+        return [trial for trial in trials if trial.index % self.count == self.index]
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"
+
+
+def parse_shard(text: str) -> ShardSpec:
+    """Parse the CLI spelling ``i/n`` (e.g. ``0/4``) into a spec."""
+    match = _SHARD_RE.match(text.strip())
+    if match is None:
+        raise ResultsError(
+            f"malformed shard spec {text!r}; expected i/n, e.g. 0/4"
+        )
+    return ShardSpec(index=int(match.group(1)), count=int(match.group(2)))

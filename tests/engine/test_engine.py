@@ -5,10 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import (
+    MAX_AUTO_JOBS,
     Engine,
     Scenario,
     Variant,
     build_context,
+    default_jobs,
     execute_trial,
     get_pool,
     get_scaled_pool,
@@ -71,6 +73,38 @@ class TestEngineRun:
         payloads = Engine().run(scenario).payloads()
         assert payloads[0] is not None and payloads[0]["placed"]
         assert payloads[1] is None
+
+
+class TestDefaultJobs:
+    def test_resolves_from_cpu_count_capped(self, monkeypatch):
+        import repro.engine.engine as engine_module
+
+        monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 64)
+        assert default_jobs("rejection") == MAX_AUTO_JOBS
+        monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 2)
+        assert default_jobs("rejection") == 2
+        monkeypatch.setattr(engine_module.os, "cpu_count", lambda: None)
+        assert default_jobs("rejection") == 1
+
+    def test_wall_clock_kinds_stay_serial(self, monkeypatch):
+        import repro.engine.engine as engine_module
+
+        monkeypatch.setattr(engine_module.os, "cpu_count", lambda: 64)
+        assert default_jobs("runtime") == 1
+
+    def test_execute_trial_never_reads_the_wall_clock(self, monkeypatch):
+        # Stored elapsed timings must come from the monotonic
+        # perf_counter, immune to NTP/DST adjustments of time.time().
+        import time as time_module
+
+        def wall_clock_forbidden():  # pragma: no cover - failure path
+            raise AssertionError("execute_trial must use perf_counter")
+
+        monkeypatch.setattr(time_module, "time", wall_clock_forbidden)
+        result = execute_trial(
+            Scenario(name="s", title="s", kind="survey", pods=1).expand()[0]
+        )
+        assert result.elapsed >= 0.0
 
 
 class TestContextCaches:

@@ -48,6 +48,26 @@ class TestLineChart:
         assert first_row_with_marker < last_row_with_marker
 
 
+class TestConfidenceBands:
+    def test_bands_rendered_under_markers(self):
+        chart = line_chart(
+            {"s": [(0, 5), (1, 6)]},
+            bands={"s": [(0, 4, 6), (1, 5, 7)]},
+        )
+        assert ":" in chart  # the CI band columns
+        assert "*" in chart  # markers draw over the band
+
+    def test_bands_extend_the_y_range(self):
+        with_bands = line_chart(
+            {"s": [(0, 5), (1, 5)]},
+            bands={"s": [(0, 0, 10), (1, 0, 10)]},
+        )
+        assert "10" in with_bands and "0" in with_bands
+
+    def test_no_bands_means_no_colons(self):
+        assert ":" not in line_chart({"s": [(0, 5), (1, 6)]})
+
+
 class TestBarChart:
     def test_proportional_bars(self):
         chart = bar_chart({"small": 1.0, "big": 10.0}, width=20)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.experiments._table import Table
+from repro.experiments._table import Table, format_mean_ci
 from repro.simulation.metrics import RunMetrics, WcsStats
 
 
@@ -36,6 +36,17 @@ class TestTable:
         table.add("cell")
         table.show()
         assert "cell" in capsys.readouterr().out
+
+
+class TestFormatMeanCi:
+    def test_interval_cell(self):
+        assert format_mean_ci(0.45, 0.4, 0.5) == "0.45 [0.4, 0.5]"
+
+    def test_degenerate_interval_renders_bare_mean(self):
+        assert format_mean_ci(0.45, 0.45, 0.45) == "0.45"
+
+    def test_custom_format(self):
+        assert format_mean_ci(0.5, 0.25, 0.75, "{:.1%}") == "50.0% [25.0%, 75.0%]"
 
 
 class TestRunMetrics:

@@ -1,0 +1,154 @@
+"""Seed-replicated aggregation: bootstrap CIs, grouping, presenters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine, Scenario, Variant
+from repro.results import (
+    ResultStore,
+    aggregate,
+    aggregate_chart,
+    aggregate_table,
+    bootstrap_ci,
+    samples_from_results,
+    samples_from_store,
+    seed_replicated_summary,
+)
+
+TINY = Scenario(
+    name="tiny",
+    title="t",
+    kind="rejection",
+    variants=(Variant("cm"), Variant("ovoc")),
+    loads=(0.3, 0.6),
+    bmaxes=(800.0,),
+    seeds=(0, 1, 2),
+    arrivals=30,
+    pods=1,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Engine().run(TINY)
+
+
+class TestBootstrapCi:
+    def test_deterministic(self):
+        values = [0.1, 0.4, 0.2, 0.35, 0.3]
+        assert bootstrap_ci(values) == bootstrap_ci(values)
+
+    def test_interval_brackets_the_mean(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low, high = bootstrap_ci(values)
+        assert low <= float(np.mean(values)) <= high
+        assert low < high
+
+    def test_degenerate_cases(self):
+        assert bootstrap_ci([]) == (0.0, 0.0)
+        assert bootstrap_ci([0.7]) == (0.7, 0.7)
+
+    def test_zero_spread_collapses(self):
+        low, high = bootstrap_ci([2.0, 2.0, 2.0])
+        assert low == high == 2.0
+
+    def test_wider_confidence_wider_interval(self):
+        values = [0.1, 0.9, 0.4, 0.6, 0.2, 0.8]
+        low99, high99 = bootstrap_ci(values, confidence=0.99)
+        low80, high80 = bootstrap_ci(values, confidence=0.80)
+        assert low99 <= low80 and high80 <= high99
+
+
+class TestAggregation:
+    def test_groups_across_seeds_only(self, result):
+        aggs = aggregate(
+            samples_from_results(result.results), metric="bw_rejection_rate"
+        )
+        # 2 loads x 2 variants grid points, each pooling 3 seeds.
+        assert len(aggs) == 4
+        assert all(agg.n == 3 for agg in aggs)
+
+    def test_metric_filter_and_full_set(self, result):
+        samples = samples_from_results(result.results)
+        everything = aggregate(samples)
+        one = aggregate(samples, metric="vm_rejection_rate")
+        assert {agg.metric for agg in one} == {"vm_rejection_rate"}
+        assert len(everything) > len(one)
+
+    def test_deterministic_output_order(self, result):
+        samples = samples_from_results(result.results)
+        assert aggregate(samples) == aggregate(list(reversed(samples)))
+
+    def test_store_and_memory_agree(self, result, tmp_path):
+        with ResultStore(tmp_path / "agg.sqlite") as store:
+            stored_run = Engine().run(TINY, store=store)
+            assert stored_run.executed == len(stored_run)
+            from_store = aggregate(samples_from_store(store, scenario="tiny"))
+        from_memory = aggregate(samples_from_results(result.results))
+        assert from_store == from_memory
+
+    def test_mean_matches_numpy(self, result):
+        samples = samples_from_results(result.results)
+        aggs = aggregate(samples, metric="bw_rejection_rate")
+        for agg in aggs:
+            values = [
+                s.metrics["bw_rejection_rate"]
+                for s in samples
+                if s.point == (agg.scenario, agg.variant, agg.topology,
+                               agg.load, agg.bmax, "null")
+            ]
+            assert agg.mean == pytest.approx(float(np.mean(values)))
+
+
+class TestPresenters:
+    def test_aggregate_table_renders_ci_cells(self, result):
+        aggs = aggregate(
+            samples_from_results(result.results), metric="bw_rejection_rate"
+        )
+        text = aggregate_table(aggs, "test table").to_text()
+        assert "mean [95% CI]" in text
+        assert "bw_rejection_rate" in text
+
+    def test_aggregate_chart_picks_the_varying_axis(self, result):
+        aggs = aggregate(
+            samples_from_results(result.results), metric="bw_rejection_rate"
+        )
+        chart = aggregate_chart(aggs, "bw_rejection_rate")
+        assert chart is not None
+        assert "vs load" in chart
+
+    def test_aggregate_chart_none_without_sweep(self, result):
+        # Restrict to one load: no numeric axis varies, nothing to sweep.
+        aggs = [
+            agg
+            for agg in aggregate(
+                samples_from_results(result.results), metric="bw_rejection_rate"
+            )
+            if agg.load == 0.3
+        ]
+        assert aggregate_chart(aggs, "bw_rejection_rate") is None
+
+    def test_seed_replicated_summary_needs_a_seed_grid(self, result):
+        summary = seed_replicated_summary(
+            result, metric="bw_rejection_rate", axis="load"
+        )
+        assert summary is not None
+        assert "across 3 seeds" in summary
+        single = Engine().run(TINY.override(seeds=(0,)))
+        assert seed_replicated_summary(
+            single, metric="bw_rejection_rate"
+        ) is None
+
+    def test_fig08_presenter_shows_ci_summary_for_seed_grids(self, capsys):
+        from repro.engine import registry
+
+        entry = registry.get("fig08")
+        scenario = entry.scenario.override(
+            pods=1, arrivals=30, loads=(0.3, 0.6), seeds=(0, 1, 2)
+        )
+        entry.present(Engine().run(scenario))
+        out = capsys.readouterr().out
+        assert "across 3 seeds" in out
+        assert "95% CI" in out

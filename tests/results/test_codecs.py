@@ -1,0 +1,148 @@
+"""Payload codecs: JSON round-trip equality for every registered kind."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import RUNNERS, Scenario, Variant, execute_trial
+from repro.enforcement.scenarios import Fig4Outcome, Fig13Point
+from repro.errors import ResultsError
+from repro.results import codec_for, codec_names, codec_version, register_codec
+from repro.results.codecs import _CODECS
+from repro.simulation.runner import ReservedBandwidth
+
+
+def _trial(kind: str, **overrides):
+    scenario = Scenario(
+        name="codec-test",
+        title="t",
+        kind=kind,
+        variants=(Variant(overrides.pop("placer", "cm")),),
+        loads=(0.4,),
+        bmaxes=(800.0,),
+        seeds=(0,),
+        arrivals=30,
+        pods=1,
+        **overrides,
+    )
+    return scenario.expand()[0]
+
+
+def _rejection_payload():
+    # A real simulation payload (wcs + utilization populated), with the
+    # wall-clock field zeroed: persisted payloads are canonical because
+    # timing is excluded from identity (see codecs module docstring).
+    payload = execute_trial(_trial("rejection")).payload
+    payload.runtime_seconds = 0.0
+    return payload
+
+
+def _reserved_payload():
+    return ReservedBandwidth(
+        cm_tag={"server": 1.5, "tor": 0.75, "agg": 0.25},
+        cm_voc={"server": 2.5, "tor": 1.25, "agg": 0.5},
+        ovoc={"server": 4.0, "tor": 2.0, "agg": 1.0},
+        tenants_deployed=123,
+    )
+
+
+def _inference_payload():
+    return {"scores": [0.9, 0.75, 1.0], "mean": 0.8833333333333333,
+            "applications": 3}
+
+
+def _runtime_payload():
+    return {"seconds": 0.0123, "placed": True}
+
+
+def _enforce_payload():
+    return execute_trial(_trial("enforce", placer="tag", xs=(4,))).payload
+
+
+def _hose_fail_payload():
+    return execute_trial(_trial("hose_fail", placer="hose")).payload
+
+
+def _survey_payload():
+    return execute_trial(_trial("survey")).payload
+
+
+PAYLOAD_FACTORIES = {
+    "rejection": _rejection_payload,
+    "reserved": _reserved_payload,
+    "inference": _inference_payload,
+    "runtime": _runtime_payload,
+    "enforce": _enforce_payload,
+    "hose_fail": _hose_fail_payload,
+    "survey": _survey_payload,
+}
+
+
+def test_every_runner_kind_has_a_codec_and_a_roundtrip_case():
+    assert set(codec_names()) == set(RUNNERS)
+    assert set(PAYLOAD_FACTORIES) == set(RUNNERS)
+
+
+@pytest.mark.parametrize("kind", sorted(PAYLOAD_FACTORIES))
+def test_payload_roundtrip_equality(kind):
+    payload = PAYLOAD_FACTORIES[kind]()
+    codec = codec_for(kind)
+    # Through actual JSON text, exactly as the store persists it.
+    wire = json.dumps(codec.to_payload(payload))
+    decoded = codec.from_payload(json.loads(wire))
+    assert decoded == payload
+    assert type(decoded) is type(payload)
+
+
+@pytest.mark.parametrize("kind", sorted(PAYLOAD_FACTORIES))
+def test_encode_is_deterministic_text(kind):
+    payload = PAYLOAD_FACTORIES[kind]()
+    codec = codec_for(kind)
+    assert codec.encode(payload) == codec.encode(payload)
+    assert codec.decode(codec.encode(payload)) == payload
+
+
+def test_runtime_codec_preserves_skipped_trials():
+    codec = codec_for("runtime")
+    assert codec.decode(codec.encode(None)) is None
+    assert codec.metrics(None) == {}
+
+
+def test_enforce_payload_types_and_metrics():
+    payload = _enforce_payload()
+    assert isinstance(payload, Fig13Point)
+    metrics = codec_for("enforce").metrics(payload)
+    assert set(metrics) == {"x_to_z", "c2_to_z"}
+
+
+def test_rejection_metrics_are_the_paper_series():
+    payload = _rejection_payload()
+    metrics = codec_for("rejection").metrics(payload)
+    assert {"tenant_rejection_rate", "vm_rejection_rate",
+            "bw_rejection_rate"} <= set(metrics)
+    assert all(isinstance(v, float) for v in metrics.values())
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ResultsError, match="no payload codec"):
+        codec_for("nope")
+    assert codec_version("nope") == 0
+
+
+def test_codec_registration_validates():
+    with pytest.raises(ResultsError, match="version"):
+        register_codec("bad", version=0, to_payload=lambda p: p,
+                       from_payload=lambda p: p)
+    with pytest.raises(ResultsError, match="non-empty"):
+        register_codec("", version=1, to_payload=lambda p: p,
+                       from_payload=lambda p: p)
+    assert "bad" not in _CODECS
+
+
+def test_hose_fail_payload_roundtrip_is_dataclass():
+    payload = _hose_fail_payload()
+    assert isinstance(payload, Fig4Outcome)
+    codec = codec_for("hose_fail")
+    assert codec.decode(codec.encode(payload)) == payload

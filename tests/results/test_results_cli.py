@@ -1,0 +1,94 @@
+"""The ``repro run --store/--shard`` flags and ``repro results`` verbs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+RUN_FLAGS = ["--pods", "1", "--arrivals", "30", "--loads", "0.4",
+             "--seeds", "0,1", "--jobs", "1"]
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "runs.sqlite")
+
+
+class TestRunWithStore:
+    def test_second_run_reports_all_cached(self, capsys, store_path):
+        assert main(["run", "fig08", *RUN_FLAGS, "--store", store_path]) == 0
+        assert "0 cached" in capsys.readouterr().out
+        assert main(["run", "fig08", *RUN_FLAGS, "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "4 cached" in out
+        assert "Fig. 8" in out  # presenter still renders from cache
+
+    def test_shard_requires_store(self, capsys):
+        assert main(["run", "fig08", *RUN_FLAGS, "--shard", "0/2"]) == 2
+        assert "--shard needs --store" in capsys.readouterr().out
+
+    def test_malformed_shard_reports_cleanly(self, capsys, store_path):
+        assert (
+            main(["run", "fig08", *RUN_FLAGS, "--store", store_path,
+                  "--shard", "nope"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "error:" in out and "Traceback" not in out
+
+    def test_sharded_runs_cover_the_matrix(self, capsys, store_path):
+        assert main(["run", "fig08", *RUN_FLAGS, "--store", store_path,
+                     "--shard", "0/2"]) == 0
+        assert "2 trials" in capsys.readouterr().out
+        assert main(["run", "fig08", *RUN_FLAGS, "--store", store_path,
+                     "--shard", "1/2"]) == 0
+        assert "2 trials" in capsys.readouterr().out
+        # Full matrix now cached from the two shard passes.
+        assert main(["run", "fig08", *RUN_FLAGS, "--store", store_path]) == 0
+        assert "4 cached" in capsys.readouterr().out
+
+
+class TestResultsVerbs:
+    @pytest.fixture
+    def populated(self, store_path, capsys):
+        assert main(["run", "fig08", *RUN_FLAGS, "--store", store_path]) == 0
+        capsys.readouterr()  # drop the run output
+        return store_path
+
+    def test_list(self, capsys, populated):
+        assert main(["results", "list", populated]) == 0
+        out = capsys.readouterr().out
+        assert "fig08" in out and "rejection" in out and "4" in out
+
+    def test_show_renders_ci_table(self, capsys, populated):
+        assert main(["results", "show", populated, "fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "mean [95% CI]" in out and "bw_rejection_rate" in out
+
+    def test_show_with_metric_filters_and_charts(self, capsys, populated):
+        assert main(["results", "show", populated, "fig08",
+                     "--metric", "vm_rejection_rate"]) == 0
+        out = capsys.readouterr().out
+        assert "vm_rejection_rate" in out
+        assert "bw_rejection_rate" not in out
+
+    def test_show_unknown_scenario_fails(self, capsys, populated):
+        assert main(["results", "show", populated, "nope"]) == 1
+        assert "no stored results" in capsys.readouterr().out
+
+    def test_merge_and_gc(self, capsys, tmp_path, populated):
+        dest = str(tmp_path / "merged.sqlite")
+        assert main(["results", "merge", dest, populated]) == 0
+        assert "merged 4 new rows" in capsys.readouterr().out
+        assert main(["results", "gc", dest]) == 0
+        assert "removed 0 stale rows; 4 remain" in capsys.readouterr().out
+
+    def test_missing_store_reports_cleanly(self, capsys, tmp_path):
+        missing = str(tmp_path / "absent.sqlite")
+        for argv in (["results", "list", missing],
+                     ["results", "show", missing, "fig08"],
+                     ["results", "gc", missing]):
+            assert main(argv) == 1
+            out = capsys.readouterr().out
+            assert "no results store" in out and "Traceback" not in out

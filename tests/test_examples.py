@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "infer_tag_from_traffic.py",
     "enforcement_dynamics.py",
     "scenario_engine.py",
+    "results_store.py",
 ]
 
 
