@@ -1,0 +1,13 @@
+"""Frozen pre-refactor (PR 4) placement core, for before/after benchmarks.
+
+Verbatim snapshot of the seed ``topology/ledger.py``,
+``placement/state.py`` and ``placement/cloudmirror.py`` — the
+dict-backed ledger, dataclass journal ops and ``Node.parent`` pointer
+walks that the flat array-backed core replaced.  Only the imports were
+rewired so the snapshot composes with itself instead of the live
+modules.
+
+Used exclusively by ``benchmarks/test_bench_placement_core.py`` to
+measure the refactor's speedup on identical inputs.  Never imported by
+the library.
+"""

@@ -30,14 +30,14 @@ from dataclasses import dataclass
 from repro.core.bandwidth import trunk_saving, uplink_requirement
 from repro.core.tag import Tag
 from repro.placement.base import Placement, PlacementResult, Rejection
-from repro.placement.ha import (
+from _legacy.ha import (
     DemandEstimator,
     HaPolicy,
     saving_desirable,
     tier_cap_left,
 )
-from repro.placement.state import TenantAllocation
-from repro.topology.ledger import Ledger
+from _legacy.state import TenantAllocation
+from _legacy.ledger import Ledger
 from repro.topology.tree import Node
 
 __all__ = ["CloudMirrorPlacer"]
@@ -75,20 +75,11 @@ class CloudMirrorPlacer:
             )
         self.ledger = ledger
         self.topology = ledger.topology
-        self._flat = ledger.flat
         self.enable_colocate = enable_colocate
         self.enable_balance = enable_balance
         self.subtree_choice = subtree_choice
         self.ha = ha or HaPolicy()
         self.estimator = DemandEstimator()
-        # Per-subtree low-bandwidth threshold: a pure function of the
-        # immutable topology, so memoized for the life of the placer.
-        self._threshold_cache: dict[int, float] = {}
-        # Colocation candidate plan (hose loops + internal trunk edges),
-        # a pure function of the tag; rebuilt when the tag changes.
-        self._plan_for: Tag | None = None
-        self._hose_plan: dict[str, float] = {}
-        self._trunk_plan: tuple = ()
         # True only while an opportunistic-HA placement attempt is active
         # (the fallback attempt after a failed spread runs with it off).
         self._spreading = False
@@ -202,24 +193,20 @@ class CloudMirrorPlacer:
         """
         external_demand = self._external_demand(tag)
         best_fit = self.subtree_choice == "best-fit"
-        size = tag.size
-        free_slots_id = self.ledger.free_slots_id
         for level in range(min_level, self.topology.num_levels):
             best: Node | None = None
-            best_free = 0
             for node in self.topology.level_nodes(level):
-                free = free_slots_id(node.node_id)
-                if free < size:
+                free = self.ledger.free_slots(node)
+                if free < tag.size:
                     continue
                 if not self._root_path_available(node, external_demand):
                     continue
-                if (
-                    best is None
-                    or (best_fit and free < best_free)
-                    or (not best_fit and free > best_free)
-                ):
+                if best is None:
                     best = node
-                    best_free = free
+                elif best_fit and free < self.ledger.free_slots(best):
+                    best = node
+                elif not best_fit and free > self.ledger.free_slots(best):
+                    best = node
             if best is not None:
                 return best
         return None
@@ -233,11 +220,10 @@ class CloudMirrorPlacer:
     def _root_path_available(self, node: Node, demand) -> bool:
         if demand.out == 0.0 and demand.into == 0.0:
             return True
-        ledger = self.ledger
-        for hop_id in self._flat.path_up[node.node_id]:
+        for hop in self.topology.path_to_root(node):
             if (
-                ledger.available_up_id(hop_id) < demand.out
-                or ledger.available_down_id(hop_id) < demand.into
+                self.ledger.available_up(hop) < demand.out
+                or self.ledger.available_down(hop) < demand.into
             ):
                 return False
         return True
@@ -299,11 +285,6 @@ class CloudMirrorPlacer:
 
     def _cap_left(self, allocation: TenantAllocation, node: Node, tier: str) -> int:
         """Remaining Eq. 7 headroom for ``tier`` under ``node``."""
-        if not self.ha.guarantees_wcs:
-            # No WCS guarantee: the headroom is the tier size, cached on
-            # the allocation (this runs per candidate per tier).
-            size = allocation.tier_size(tier)
-            return size if size > 0 else 0
         return tier_cap_left(self.ha, allocation, node, tier)
 
     # ------------------------------------------------------------------
@@ -405,22 +386,8 @@ class CloudMirrorPlacer:
             # with later, so colocate them too ("blind" colocation).
             heavy = set(want)
         best: _Candidate | None = None
-        # Equivalence-class dedup, as in _md_subset_sum: every candidate
-        # quantity (hose/trunk counts, Eq. 7 headroom, free slots) is a
-        # function of the child's free slots and its per-tier counts —
-        # ancestors above the child are shared — and the strict saving
-        # comparison keeps the first member of each class as the winner.
-        ledger = self.ledger
-        count_id = allocation.count_id
-        tiers = allocation.internal_tiers
-        seen: set = set()
         for child in children:
-            child_id = child.node_id
-            free = ledger.free_slots_id(child_id)
-            key = (free, tuple(count_id(child_id, tier) for tier in tiers))
-            if key in seen:
-                continue
-            seen.add(key)
+            free = self.ledger.free_slots(child)
             for candidate in self._child_candidates(
                 allocation, want, heavy, child, free
             ):
@@ -429,52 +396,16 @@ class CloudMirrorPlacer:
         return best
 
     def _low_bw_threshold(self, subtree: Node) -> float:
-        """Nominal per-slot bandwidth of the children (Fig. 6 heuristic).
-
-        Depends only on the immutable topology, so computed once per
-        subtree and memoized.
-        """
-        cached = self._threshold_cache.get(subtree.node_id)
-        if cached is not None:
-            return cached
-        flat = self._flat
-        subtree_slots = flat.subtree_slots
+        """Nominal per-slot bandwidth of the children (Fig. 6 heuristic)."""
         values = []
-        for child_id in flat.children_ids[subtree.node_id]:
-            slots = subtree_slots[child_id]
-            up = flat.nominal_up[child_id]
-            down = flat.nominal_down[child_id]
-            nominal = up if up < down else down
+        for child in subtree.children:
+            slots = self.topology.slots_under(child)
+            nominal = min(child.nominal_up, child.nominal_down)
             if slots > 0 and math.isfinite(nominal):
                 values.append(nominal / slots)
-        threshold = sum(values) / len(values) if values else 0.0
-        self._threshold_cache[subtree.node_id] = threshold
-        return threshold
-
-    def _candidate_plan(self, tag: Tag) -> tuple[dict[str, float], tuple]:
-        """Per-tag colocation structure, rebuilt only when the tag changes.
-
-        ``hose``: tier -> self-loop send rate (non-zero loops only).
-        ``trunk``: the internal (both endpoints placeable) non-loop
-        edges, in ``tag.iter_edges()`` order, as
-        ``(edge, src, dst, fill_src_first)`` with the higher-coefficient
-        endpoint flag precomputed.
-        """
-        if self._plan_for is not tag:
-            self._hose_plan = {
-                edge.src: edge.send
-                for edge in tag.iter_edges()
-                if edge.is_self_loop and edge.send != 0.0
-            }
-            self._trunk_plan = tuple(
-                (edge, edge.src, edge.dst, edge.send >= edge.recv)
-                for edge in tag.iter_edges()
-                if not edge.is_self_loop
-                and not tag.component(edge.src).external
-                and not tag.component(edge.dst).external
-            )
-            self._plan_for = tag
-        return self._hose_plan, self._trunk_plan
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
 
     def _child_candidates(
         self,
@@ -485,62 +416,64 @@ class CloudMirrorPlacer:
         free: int,
     ):
         """Yield verified-saving candidates for one child."""
-        hose_plan, trunk_plan = self._candidate_plan(allocation.tag)
-        child_id = child.node_id
-        count_id = allocation.count_id
+        tag = allocation.tag
         # Hose candidates (Eq. 2): a majority of a self-loop tier in child.
         for tier in want:
             if tier not in heavy:
                 continue
-            send = hose_plan.get(tier)
-            if send is None:
+            loop = tag.self_loop(tier)
+            if loop is None or loop.send == 0.0:
                 continue
-            size = allocation.tier_size(tier)
+            size = tag.component(tier).size
             assert size is not None
-            here = count_id(child_id, tier)
+            here = allocation.count(child, tier)
             add = min(want[tier], free, self._cap_left(allocation, child, tier))
             if add <= 0:
                 continue
             after = here + add
             if after <= size / 2.0:
                 continue
-            crossing_before = min(here, size - here) * send
-            crossing_after = min(after, size - after) * send
-            saving = add * send - (crossing_after - crossing_before)
+            crossing_before = min(here, size - here) * loop.send
+            crossing_after = min(after, size - after) * loop.send
+            saving = add * loop.send - (crossing_after - crossing_before)
             if saving > 0:
                 yield _Candidate(child, {tier: add}, saving)
         # Trunk candidates (Eqs. 4-6): colocate both endpoints of an edge.
-        for edge, src, dst, src_first in trunk_plan:
-            if src not in heavy and dst not in heavy:
+        for edge in tag.iter_edges():
+            if edge.is_self_loop:
                 continue
-            src_want = want.get(src, 0)
-            dst_want = want.get(dst, 0)
+            if tag.component(edge.src).external or tag.component(edge.dst).external:
+                continue
+            if edge.src not in heavy and edge.dst not in heavy:
+                continue
+            src_size = tag.component(edge.src).size
+            dst_size = tag.component(edge.dst).size
+            assert src_size is not None and dst_size is not None
+            src_here = allocation.count(child, edge.src)
+            dst_here = allocation.count(child, edge.dst)
+            src_want = want.get(edge.src, 0)
+            dst_want = want.get(edge.dst, 0)
             if src_want + dst_want == 0:
                 continue
-            src_size = allocation.tier_size(src)
-            dst_size = allocation.tier_size(dst)
-            assert src_size is not None and dst_size is not None
-            src_here = count_id(child_id, src)
-            dst_here = count_id(child_id, dst)
             # Fill the higher-coefficient endpoint first (maximizes Eq. 4).
             budget = free
-            if src_first:
+            if edge.send >= edge.recv:
                 src_add = min(
-                    src_want, budget, self._cap_left(allocation, child, src)
+                    src_want, budget, self._cap_left(allocation, child, edge.src)
                 )
                 dst_add = min(
                     dst_want,
                     budget - src_add,
-                    self._cap_left(allocation, child, dst),
+                    self._cap_left(allocation, child, edge.dst),
                 )
             else:
                 dst_add = min(
-                    dst_want, budget, self._cap_left(allocation, child, dst)
+                    dst_want, budget, self._cap_left(allocation, child, edge.dst)
                 )
                 src_add = min(
                     src_want,
                     budget - dst_add,
-                    self._cap_left(allocation, child, src),
+                    self._cap_left(allocation, child, edge.src),
                 )
             if src_add + dst_add <= 0:
                 continue
@@ -552,9 +485,9 @@ class CloudMirrorPlacer:
             if saving > 0:
                 request = {}
                 if src_add:
-                    request[src] = src_add
+                    request[edge.src] = src_add
                 if dst_add:
-                    request[dst] = dst_add
+                    request[edge.dst] = dst_add
                 yield _Candidate(child, request, saving)
 
     def _naive_fill(
@@ -667,36 +600,7 @@ class CloudMirrorPlacer:
         best_child: Node | None = None
         best_fill: dict[str, int] | None = None
         best_score = -1.0
-        # Children in identical reservation states (same free slots,
-        # available bandwidth, and — under a WCS guarantee — the same
-        # per-tier counts) produce identical greedy fills, and the strict
-        # score comparison means only the first of each equivalence class
-        # can win; later members are skipped without being evaluated.
-        # On homogeneous (sub)trees this collapses the per-round scan
-        # from O(children) greedy fills to one per distinct state.
-        ledger = self.ledger
-        count_id = allocation.count_id
-        keyed_counts = (
-            tuple(want) if self.ha.guarantees_wcs else ()
-        )
-        seen: set = set()
         for child in children:
-            child_id = child.node_id
-            if ignore_bandwidth:
-                key = (
-                    ledger.free_slots_id(child_id),
-                    tuple(count_id(child_id, tier) for tier in keyed_counts),
-                )
-            else:
-                key = (
-                    ledger.free_slots_id(child_id),
-                    ledger.nominal_available_up_id(child_id),
-                    ledger.nominal_available_down_id(child_id),
-                    tuple(count_id(child_id, tier) for tier in keyed_counts),
-                )
-            if key in seen:
-                continue
-            seen.add(key)
             fill, score = self._greedy_fill(
                 allocation, want, child, ignore_bandwidth
             )
@@ -713,30 +617,14 @@ class CloudMirrorPlacer:
         child: Node,
         ignore_bandwidth: bool = False,
     ) -> tuple[dict[str, int], float]:
-        """Greedy tier-granularity fill of one child; returns (fill, score).
-
-        The per-VM demands and the Eq. 7 headroom of each tier are
-        invariant over one fill (only the hypothetical ``fill`` counts
-        move), so they are hoisted out of the packing loop.
-        """
+        """Greedy tier-granularity fill of one child; returns (fill, score)."""
         tag = allocation.tag
-        ledger = self.ledger
-        child_id = child.node_id
-        slots_free = ledger.free_slots_id(child_id)
+        slots_free = self.ledger.free_slots(child)
         if ignore_bandwidth:
             up_free = down_free = math.inf
         else:
-            up_free = max(0.0, ledger.nominal_available_up_id(child_id))
-            down_free = max(0.0, ledger.nominal_available_down_id(child_id))
-        finite_up = math.isfinite(up_free)
-        finite_down = math.isfinite(down_free)
-        rate_up = finite_up and up_free > 0
-        rate_down = finite_down and down_free > 0
-        slots_denom = slots_free if slots_free > 1 else 1
-        tier_info: dict[str, tuple[float, float, int]] = {}
-        for tier in want:
-            out, into = tag.per_vm_demand(tier)
-            tier_info[tier] = (out, into, self._cap_left(allocation, child, tier))
+            up_free = max(0.0, self.ledger.nominal_available_up(child))
+            down_free = max(0.0, self.ledger.nominal_available_down(child))
         fill: dict[str, int] = {}
         used_slots = 0
         used_up = 0.0
@@ -749,37 +637,30 @@ class CloudMirrorPlacer:
             for tier, left in remaining.items():
                 if left <= 0:
                     continue
-                out, into, cap0 = tier_info[tier]
-                cap = cap0 - fill.get(tier, 0)
+                out, into = tag.per_vm_demand(tier)
+                cap = self._cap_left(allocation, child, tier) - fill.get(tier, 0)
                 count = min(left, slots_free - used_slots, cap)
                 if count <= 0:
                     continue
-                if out > 0 and finite_up:
-                    bound = int((up_free - used_up) / out)
-                    if bound < count:
-                        count = bound
-                if into > 0 and finite_down:
-                    bound = int((down_free - used_down) / into)
-                    if bound < count:
-                        count = bound
+                if out > 0 and math.isfinite(up_free):
+                    count = min(count, int((up_free - used_up) / out))
+                if into > 0 and math.isfinite(down_free):
+                    count = min(count, int((down_free - used_down) / into))
                 if count <= 0:
                     continue
-                min_util = (used_slots + count) / slots_denom
-                if rate_up:
-                    util = (used_up + count * out) / up_free
-                    if util < min_util:
-                        min_util = util
-                if rate_down:
-                    util = (used_down + count * into) / down_free
-                    if util < min_util:
-                        min_util = util
+                utils = [(used_slots + count) / max(slots_free, 1)]
+                if math.isfinite(up_free) and up_free > 0:
+                    utils.append((used_up + count * out) / up_free)
+                if math.isfinite(down_free) and down_free > 0:
+                    utils.append((used_down + count * into) / down_free)
+                min_util = min(utils)
                 if min_util > best_min_util:
                     best_min_util = min_util
                     best_tier = tier
                     best_count = count
             if best_tier is None:
                 break
-            out, into, _ = tier_info[best_tier]
+            out, into = tag.per_vm_demand(best_tier)
             fill[best_tier] = fill.get(best_tier, 0) + best_count
             used_slots += best_count
             used_up += best_count * out
@@ -790,10 +671,10 @@ class CloudMirrorPlacer:
         if not fill:
             return {}, -1.0
         # Score: how full the child ends up, averaged over the finite dims.
-        utils = [used_slots / slots_denom]
-        if rate_up:
+        utils = [used_slots / max(slots_free, 1)]
+        if math.isfinite(up_free) and up_free > 0:
             utils.append(used_up / up_free)
-        if rate_down:
+        if math.isfinite(down_free) and down_free > 0:
             utils.append(used_down / down_free)
         return fill, sum(utils) / len(utils)
 

@@ -1,0 +1,28 @@
+"""Legacy HA helpers for the frozen placement core.
+
+``tier_cap_left`` is the seed implementation (parent-pointer walk over
+``Node.parent``); the policy objects and the desirability predicate are
+pure configuration/arithmetic, unchanged by the refactor, so they are
+re-exported from the live module.
+"""
+
+from __future__ import annotations
+
+from repro.placement.ha import DemandEstimator, HaPolicy, saving_desirable
+from repro.topology.tree import Node
+
+__all__ = ["DemandEstimator", "HaPolicy", "saving_desirable", "tier_cap_left"]
+
+
+def tier_cap_left(ha: HaPolicy, allocation, node: Node, tier: str) -> int:
+    """Seed Eq. 7 headroom: walk ancestors via parent pointers."""
+    size = allocation.tag.component(tier).size
+    assert size is not None
+    headroom = size
+    if ha.guarantees_wcs:
+        cap = ha.tier_cap(size)
+        current = node
+        while current is not None and current.level <= ha.laa_level:
+            headroom = min(headroom, cap - allocation.count(current, tier))
+            current = current.parent
+    return max(0, headroom)

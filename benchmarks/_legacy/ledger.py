@@ -1,0 +1,265 @@
+"""Transactional slot and bandwidth reservation ledger.
+
+The ledger is the single mutable view of a topology: per-server used VM
+slots and per-node used uplink bandwidth (both directions).  It also
+maintains, incrementally, the aggregate number of free slots under every
+subtree so placement algorithms can do O(1) feasibility pre-checks.
+
+All mutations go through a :class:`Journal` so that a placement attempt
+can be rolled back wholesale when it fails part-way (Algorithm 1's
+``Dealloc``), and so a departing tenant can release exactly what it
+reserved.  Capacity violations are reported by returning ``False``;
+inconsistencies (releasing more than reserved) raise :class:`LedgerError`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import LedgerError
+from repro.topology.tree import Node, Topology
+
+__all__ = ["Ledger", "Journal"]
+
+# Tolerance for floating-point capacity comparisons (Mbps).
+_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class _SlotOp:
+    server_id: int
+    count: int
+
+
+@dataclass(frozen=True)
+class _BandwidthOp:
+    node_id: int
+    prev_up: float
+    prev_down: float
+    new_up: float
+    new_down: float
+
+
+@dataclass
+class Journal:
+    """An undo log of ledger mutations for one placement attempt."""
+
+    ops: list[object] = field(default_factory=list)
+
+    def savepoint(self) -> int:
+        return len(self.ops)
+
+
+class Ledger:
+    """Mutable reservation state over an immutable :class:`Topology`."""
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+        self._used_slots: dict[int, int] = {s.node_id: 0 for s in topology.servers}
+        self._used_up: dict[int, float] = {}
+        self._used_down: dict[int, float] = {}
+        self._free_subtree: dict[int, int] = {}
+        self._over: set[int] = set()
+        for node in topology.nodes:
+            if not node.is_root:
+                self._used_up[node.node_id] = 0.0
+                self._used_down[node.node_id] = 0.0
+        for server in topology.servers:
+            for node in topology.ancestors(server, include_self=True):
+                self._free_subtree[node.node_id] = (
+                    self._free_subtree.get(node.node_id, 0) + server.slots
+                )
+
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def free_slots(self, node: Node) -> int:
+        """Free VM slots in the subtree rooted at ``node``."""
+        return self._free_subtree[node.node_id]
+
+    def used_slots(self, server: Node) -> int:
+        return self._used_slots[server.node_id]
+
+    def available_up(self, node: Node) -> float:
+        """Unreserved uplink capacity toward the root."""
+        if node.is_root:
+            return math.inf
+        return node.uplink_up - self._used_up[node.node_id]
+
+    def available_down(self, node: Node) -> float:
+        """Unreserved uplink capacity toward the leaves."""
+        if node.is_root:
+            return math.inf
+        return node.uplink_down - self._used_down[node.node_id]
+
+    def nominal_available_up(self, node: Node) -> float:
+        """Unreserved *nominal* uplink capacity toward the root.
+
+        Identical to :meth:`available_up` on real topologies; on the
+        idealized unlimited topology (Table 1) it reflects the realistic
+        capacity the placement heuristics should reason about.
+        """
+        if node.is_root:
+            return math.inf
+        return node.nominal_up - self._used_up[node.node_id]
+
+    def nominal_available_down(self, node: Node) -> float:
+        """Unreserved nominal uplink capacity toward the leaves."""
+        if node.is_root:
+            return math.inf
+        return node.nominal_down - self._used_down[node.node_id]
+
+    def reserved_up(self, node: Node) -> float:
+        return 0.0 if node.is_root else self._used_up[node.node_id]
+
+    def reserved_down(self, node: Node) -> float:
+        return 0.0 if node.is_root else self._used_down[node.node_id]
+
+    def reserved_at_level(self, level: int) -> float:
+        """Total reserved uplink bandwidth (up direction) at one tree level.
+
+        This is the metric of Table 1: "bandwidth reserved on uplinks from
+        the server / ToR / agg switch network levels".
+        """
+        return sum(
+            self._used_up[n.node_id]
+            for n in self._topology.level_nodes(level)
+            if not n.is_root
+        )
+
+    def iter_utilization(self) -> Iterator[tuple[Node, float, float]]:
+        """Yield ``(node, up_fraction, down_fraction)`` for capacity links."""
+        for node in self._topology.nodes:
+            if node.is_root or math.isinf(node.uplink_up):
+                continue
+            yield (
+                node,
+                self._used_up[node.node_id] / node.uplink_up,
+                self._used_down[node.node_id] / node.uplink_down,
+            )
+
+    # ------------------------------------------------------------------
+    # mutations (journalled)
+    # ------------------------------------------------------------------
+    def reserve_slots(self, server: Node, count: int, journal: Journal) -> bool:
+        """Reserve ``count`` VM slots on ``server``; False if over capacity."""
+        if count <= 0:
+            raise LedgerError(f"slot reservation must be positive, got {count}")
+        if self._used_slots[server.node_id] + count > server.slots:
+            return False
+        self._apply_slots(server, count)
+        journal.ops.append(_SlotOp(server.node_id, count))
+        return True
+
+    def release_slots(self, server: Node, count: int) -> None:
+        """Release previously reserved slots (tenant departure path)."""
+        if count <= 0:
+            raise LedgerError(f"slot release must be positive, got {count}")
+        if self._used_slots[server.node_id] - count < 0:
+            raise LedgerError(
+                f"releasing {count} slots on {server.name!r} but only "
+                f"{self._used_slots[server.node_id]} reserved"
+            )
+        self._apply_slots(server, -count)
+
+    def adjust_uplink(
+        self,
+        node: Node,
+        delta_up: float,
+        delta_down: float,
+        journal: Journal,
+        enforce: bool = True,
+    ) -> bool:
+        """Adjust reserved uplink bandwidth by a delta.
+
+        With ``enforce=True`` the adjustment is refused (returning False)
+        when it would exceed capacity.  With ``enforce=False`` the
+        adjustment always applies and over-capacity links are tracked in
+        the overcommit set; placement algorithms use this to defer the
+        capacity check to subtree-completion boundaries (Algorithm 1
+        reserves per completed subtree, so transient mid-placement spikes
+        must not reject a tenant that finally fits).
+        """
+        if node.is_root:
+            return True
+        prev_up = self._used_up[node.node_id]
+        prev_down = self._used_down[node.node_id]
+        new_up = prev_up + delta_up
+        new_down = prev_down + delta_down
+        if new_up < -_EPSILON or new_down < -_EPSILON:
+            raise LedgerError(
+                f"uplink reservation on {node.name!r} would become negative"
+            )
+        over = (
+            new_up > node.uplink_up + _EPSILON
+            or new_down > node.uplink_down + _EPSILON
+        )
+        if enforce and over:
+            return False
+        self._used_up[node.node_id] = max(0.0, new_up)
+        self._used_down[node.node_id] = max(0.0, new_down)
+        self._update_overcommit(node.node_id)
+        journal.ops.append(
+            _BandwidthOp(node.node_id, prev_up, prev_down, new_up, new_down)
+        )
+        return True
+
+    def has_overcommit(self) -> bool:
+        """Any uplink currently reserved beyond its capacity?"""
+        return bool(self._over)
+
+    def overcommitted_nodes(self) -> frozenset[int]:
+        return frozenset(self._over)
+
+    def _update_overcommit(self, node_id: int) -> None:
+        node = self._topology.node(node_id)
+        over = (
+            self._used_up[node_id] > node.uplink_up + _EPSILON
+            or self._used_down[node_id] > node.uplink_down + _EPSILON
+        )
+        if over:
+            self._over.add(node_id)
+        else:
+            self._over.discard(node_id)
+
+    def release_uplink(self, node: Node, up: float, down: float) -> None:
+        """Release bandwidth without journalling (tenant departure path)."""
+        if node.is_root:
+            return
+        new_up = self._used_up[node.node_id] - up
+        new_down = self._used_down[node.node_id] - down
+        if new_up < -_EPSILON or new_down < -_EPSILON:
+            raise LedgerError(
+                f"releasing more bandwidth than reserved on {node.name!r}"
+            )
+        self._used_up[node.node_id] = max(0.0, new_up)
+        self._used_down[node.node_id] = max(0.0, new_down)
+        self._update_overcommit(node.node_id)
+
+    # ------------------------------------------------------------------
+    # rollback
+    # ------------------------------------------------------------------
+    def rollback(self, journal: Journal, savepoint: int = 0) -> None:
+        """Undo journalled operations back to ``savepoint`` (in reverse)."""
+        while len(journal.ops) > savepoint:
+            op = journal.ops.pop()
+            if isinstance(op, _SlotOp):
+                self._apply_slots(self._topology.node(op.server_id), -op.count)
+            elif isinstance(op, _BandwidthOp):
+                self._used_up[op.node_id] = op.prev_up
+                self._used_down[op.node_id] = op.prev_down
+                self._update_overcommit(op.node_id)
+            else:  # pragma: no cover - defensive
+                raise LedgerError(f"unknown journal op {op!r}")
+
+    # ------------------------------------------------------------------
+    def _apply_slots(self, server: Node, count: int) -> None:
+        self._used_slots[server.node_id] += count
+        for node in self._topology.ancestors(server, include_self=True):
+            self._free_subtree[node.node_id] -= count

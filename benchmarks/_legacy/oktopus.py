@@ -25,9 +25,9 @@ import math
 from repro.core.tag import Tag
 from repro.models.voc import VocCluster, VocModel, voc_from_tag, voc_uplink_requirement
 from repro.placement.base import Placement, PlacementResult, Rejection
-from repro.placement.ha import HaPolicy, tier_cap_left
-from repro.placement.state import TenantAllocation
-from repro.topology.ledger import Ledger
+from _legacy.ha import HaPolicy, tier_cap_left
+from _legacy.state import TenantAllocation
+from _legacy.ledger import Ledger
 from repro.topology.tree import Node
 
 __all__ = ["OktopusPlacer"]
@@ -61,18 +61,14 @@ class OktopusPlacer:
     # ------------------------------------------------------------------
     def _find_lowest_subtree(self, tag: Tag, min_level: int = 0) -> Node | None:
         """Lowest-level best-fit subtree with enough aggregate free slots."""
-        size = tag.size
-        free_slots_id = self.ledger.free_slots_id
         for level in range(min_level, self.topology.num_levels):
             best: Node | None = None
-            best_free = 0
             for node in self.topology.level_nodes(level):
-                free = free_slots_id(node.node_id)
-                if free < size:
+                free = self.ledger.free_slots(node)
+                if free < tag.size:
                     continue
-                if best is None or free < best_free:
+                if best is None or free < self.ledger.free_slots(best):
                     best = node
-                    best_free = free
             if best is not None:
                 return best
         return None
@@ -130,66 +126,27 @@ class OktopusPlacer:
                 return 0
             return count
         placed = 0
-        ledger = self.ledger
         children = sorted(
-            node.children, key=ledger.free_slots, reverse=True
+            node.children, key=self.ledger.free_slots, reverse=True
         )
-        # The whole-remainder filter dedups children in identical
-        # reservation states (same free slots, same cluster count, same
-        # availability): the hose-feasibility answer is a function of
-        # exactly those, and both the filter and the min() below keep
-        # the first member of every class, so skipping later members
-        # cannot change the chosen target.
-        whole = []
-        seen: set = set()
-        for child in children:
-            child_id = child.node_id
-            free = ledger.free_slots_id(child_id)
-            if free < want:
-                continue
-            key = (
-                free,
-                allocation.count_id(child_id, cluster.name),
-                ledger.available_up_id(child_id),
-                ledger.available_down_id(child_id),
-            )
-            if key in seen:
-                continue
-            seen.add(key)
-            if self._hose_feasible(allocation, cluster, child, want):
-                whole.append(child)
+        whole = [
+            c
+            for c in children
+            if self.ledger.free_slots(c) >= want
+            and self._hose_feasible(allocation, cluster, c, want)
+        ]
         if whole:
-            target = min(whole, key=ledger.free_slots)
+            target = min(whole, key=self.ledger.free_slots)
             children = [target] + [c for c in children if c is not target]
-        # Children are attempted in order with state mutating only when
-        # VMs land.  ``_max_feasible`` is a function of the same class
-        # key (Eq. 7 ancestors are shared among siblings), so between
-        # placements, children equivalent to one that already reported
-        # nothing feasible are skipped; any successful placement shrinks
-        # the remaining want and invalidates the skip set.
-        infeasible: set = set()
         for child in children:
             if placed >= want:
                 break
-            child_id = child.node_id
-            key = (
-                ledger.free_slots_id(child_id),
-                allocation.count_id(child_id, cluster.name),
-                ledger.available_up_id(child_id),
-                ledger.available_down_id(child_id),
-            )
-            if key in infeasible:
-                continue
             feasible = self._max_feasible(allocation, cluster, child, want - placed)
             if feasible <= 0:
-                infeasible.add(key)
                 continue
-            got = self._alloc_cluster(
+            placed += self._alloc_cluster(
                 allocation, cluster, feasible, child, ceiling
             )
-            if got:
-                placed += got
-                infeasible.clear()
         return placed
 
     def _hose_feasible(
@@ -202,13 +159,11 @@ class OktopusPlacer:
         bandwidth = self._cluster_bw(cluster)
         if bandwidth == 0.0:
             return True
-        child_id = child.node_id
-        here = allocation.count_id(child_id, cluster.name) + extra
+        here = allocation.count(child, cluster.name) + extra
         crossing = min(here, cluster.size - here) * bandwidth
-        ledger = self.ledger
         available = min(
-            max(0.0, ledger.available_up_id(child_id)),
-            max(0.0, ledger.available_down_id(child_id)),
+            max(0.0, self.ledger.available_up(child)),
+            max(0.0, self.ledger.available_down(child)),
         )
         return crossing <= available
 
@@ -225,8 +180,7 @@ class OktopusPlacer:
         falls; Oktopus accepts either the low ascending range or, when the
         remainder fits entirely, the descending range.
         """
-        child_id = child.node_id
-        free = self.ledger.free_slots_id(child_id)
+        free = self.ledger.free_slots(child)
         cap = tier_cap_left(self.ha, allocation, child, cluster.name)
         count = min(want, free, cap)
         if count <= 0:
@@ -234,10 +188,10 @@ class OktopusPlacer:
         if self._hose_feasible(allocation, cluster, child, count):
             return count
         bandwidth = self._cluster_bw(cluster)
-        here = allocation.count_id(child_id, cluster.name)
+        here = allocation.count(child, cluster.name)
         available = min(
-            max(0.0, self.ledger.available_up_id(child_id)),
-            max(0.0, self.ledger.available_down_id(child_id)),
+            max(0.0, self.ledger.available_up(child)),
+            max(0.0, self.ledger.available_down(child)),
         )
         if bandwidth == 0.0 or math.isinf(available):
             return count

@@ -21,7 +21,7 @@ from collections import defaultdict
 from repro.core.tag import Tag
 from repro.models.pipe import PipeSet, pipe_vm_demand, pipes_from_tag
 from repro.placement.base import Placement, PlacementResult, Rejection
-from repro.topology.ledger import Journal, Ledger
+from _legacy.ledger import Journal, Ledger
 from repro.topology.tree import Node
 
 __all__ = ["SecondNetPlacer", "PipeAllocation"]
@@ -41,10 +41,7 @@ class PipeAllocation:
         self.finalized = False
 
     def record_reservation(self, node: Node, up: float, down: float) -> None:
-        self.record_reservation_id(node.node_id, up, down)
-
-    def record_reservation_id(self, node_id: int, up: float, down: float) -> None:
-        entry = self._reserved[node_id]
+        entry = self._reserved[node.node_id]
         entry[0] += up
         entry[1] += down
 
@@ -92,7 +89,6 @@ class SecondNetPlacer:
     def __init__(self, ledger: Ledger) -> None:
         self.ledger = ledger
         self.topology = ledger.topology
-        self._flat = ledger.flat
 
     def place(self, tag: Tag) -> PlacementResult:
         pipes = pipes_from_tag(tag)
@@ -159,129 +155,86 @@ class SecondNetPlacer:
             ),
             key=lambda rack: self._rack_cost(rack, placed_peers),
         )
-        ledger = self.ledger
-        # Servers hosting a placed peer skip that peer's pipes in the
-        # feasibility check, so they are never equivalent to servers
-        # that don't; map each such server to its hosted peer indices.
-        hosted: dict[int, list[int]] = {}
-        for index, (peer_server, _, _) in enumerate(placed_peers):
-            hosted.setdefault(peer_server.node_id, []).append(index)
         for rack in racks:
             candidates = [
                 s
                 for s in self.topology.servers_under(rack)
-                if ledger.used_slots(s) < s.slots
+                if self.ledger.used_slots(s) < s.slots
             ]
             if not candidates:
                 continue
             # Fullest-first packs servers tightly, like SecondNet's
             # cluster-then-server refinement.
-            candidates.sort(key=ledger.used_slots, reverse=True)
-            # Within one rack, two servers with equal uplink availability
-            # and the same hosted-peer set share every pipe path except
-            # their own uplink, so infeasibility transfers between them:
-            # test one member per class, fail the whole class.
-            infeasible: set = set()
+            candidates.sort(key=self.ledger.used_slots, reverse=True)
             for server in candidates:
-                server_id = server.node_id
                 left = headroom.get(
-                    server_id, [server.nominal_up, server.nominal_down]
+                    server.node_id, [server.nominal_up, server.nominal_down]
                 )
                 if vm_demand[0] > left[0] or vm_demand[1] > left[1]:
                     continue
-                key = (
-                    ledger.available_up_id(server_id),
-                    ledger.available_down_id(server_id),
-                    tuple(hosted.get(server_id, ())),
-                )
-                if key in infeasible:
-                    continue
                 if self._feasible(server, placed_peers):
                     return server
-                infeasible.add(key)
         return None
 
     def _rack_cost(
         self, rack: Node, placed_peers: list[tuple[Node, float, bool]]
     ) -> float:
-        # Inlined hop computation over the flat parent array: this runs
-        # once per (rack, peer) pair for every VM placed.
-        parent = self._flat.parent
-        rack_id = rack.node_id
-        pod_id = parent[rack_id]
         cost = 0.0
         for server, bandwidth, _ in placed_peers:
-            peer_rack = parent[server.node_id]
-            if peer_rack == rack_id:
-                cost += bandwidth * 2
-            elif parent[peer_rack] == pod_id:
-                cost += bandwidth * 4
-            else:
-                cost += bandwidth * 6
+            cost += bandwidth * self._hops(rack, server)
         return cost
 
     def _hops(self, rack: Node, server: Node) -> int:
         """Path length (in links) between a rack and a peer's server."""
-        parent = self._flat.parent
-        peer_rack = parent[server.node_id]
-        assert peer_rack >= 0
-        if peer_rack == rack.node_id:
+        peer_rack = server.parent
+        assert peer_rack is not None
+        if peer_rack is rack:
             return 2
-        if parent[peer_rack] == parent[rack.node_id]:
+        if peer_rack.parent is rack.parent:
             return 4
         return 6
 
-    def _path_link_ids(self, src_id: int, dst_id: int) -> list[tuple[int, bool]]:
-        """Uplink ids crossed from server ``src_id`` to server ``dst_id``.
-
-        ``(node_id, is_up)`` pairs: the up direction on the source side
-        of the LCA, the down direction on the destination side
-        (destination side first, matching the reservation order the
-        pointer-walk implementation used).
-        """
-        flat = self._flat
-        parent = flat.parent
-        lca = flat.lca_id(src_id, dst_id)
-        links: list[tuple[int, bool]] = []
-        node_id = dst_id
-        while node_id != lca:
-            links.append((node_id, False))
-            node_id = parent[node_id]
-        node_id = src_id
-        while node_id != lca:
-            links.append((node_id, True))
-            node_id = parent[node_id]
-        return links
-
     def _path_links(self, src: Node, dst: Node) -> list[tuple[Node, bool]]:
-        """Node-level :meth:`_path_link_ids` (kept for introspection)."""
-        node_of = self._flat.node_of
-        return [
-            (node_of[node_id], is_up)  # type: ignore[misc]
-            for node_id, is_up in self._path_link_ids(src.node_id, dst.node_id)
-        ]
+        """Uplinks crossed from ``src`` server to ``dst`` server.
+
+        Returns ``(node, is_up)`` pairs: the up direction on the source
+        side of the LCA, the down direction on the destination side.
+        """
+        src_path = {n.node_id: n for n in self.topology.ancestors(src, include_self=True)}
+        links: list[tuple[Node, bool]] = []
+        node: Node | None = dst
+        lca = None
+        while node is not None:
+            if node.node_id in src_path:
+                lca = node
+                break
+            links.append((node, False))
+            node = node.parent
+        assert lca is not None
+        node = src
+        while node is not None and node.node_id != lca.node_id:
+            links.append((node, True))
+            node = node.parent
+        return links
 
     def _feasible(
         self, server: Node, placed_peers: list[tuple[Node, float, bool]]
     ) -> bool:
         needed: dict[tuple[int, bool], float] = defaultdict(float)
-        server_id = server.node_id
+        needed_links: dict[int, Node] = {}
         for peer_server, bandwidth, outgoing in placed_peers:
             if peer_server is server:
                 continue
-            peer_id = peer_server.node_id
-            if outgoing:
-                src_id, dst_id = server_id, peer_id
-            else:
-                src_id, dst_id = peer_id, server_id
-            for link in self._path_link_ids(src_id, dst_id):
-                needed[link] += bandwidth
-        ledger = self.ledger
+            src, dst = (server, peer_server) if outgoing else (peer_server, server)
+            for node, is_up in self._path_links(src, dst):
+                needed[(node.node_id, is_up)] += bandwidth
+                needed_links[node.node_id] = node
         for (node_id, is_up), amount in needed.items():
+            node = needed_links[node_id]
             available = (
-                ledger.available_up_id(node_id)
+                self.ledger.available_up(node)
                 if is_up
-                else ledger.available_down_id(node_id)
+                else self.ledger.available_down(node)
             )
             if amount > available:
                 return False
@@ -296,28 +249,20 @@ class SecondNetPlacer:
     ) -> bool:
         if not self.ledger.reserve_slots(server, 1, allocation.journal):
             return False
-        ledger = self.ledger
-        journal = allocation.journal
-        vm_server = allocation.vm_server
-        server_id = server.node_id
         for peer, bandwidth, outgoing in peers:
-            if bandwidth == 0.0 or peer not in vm_server:
+            if bandwidth == 0.0 or peer not in allocation.vm_server:
                 continue
-            peer_server = vm_server[peer]
+            peer_server = allocation.vm_server[peer]
             if peer_server is server:
                 continue
-            peer_id = peer_server.node_id
-            if outgoing:
-                src_id, dst_id = server_id, peer_id
-            else:
-                src_id, dst_id = peer_id, server_id
-            for node_id, is_up in self._path_link_ids(src_id, dst_id):
+            src, dst = (server, peer_server) if outgoing else (peer_server, server)
+            for node, is_up in self._path_links(src, dst):
                 delta_up = bandwidth if is_up else 0.0
                 delta_down = 0.0 if is_up else bandwidth
-                if not ledger.adjust_uplink_id(
-                    node_id, delta_up, delta_down, journal
+                if not self.ledger.adjust_uplink(
+                    node, delta_up, delta_down, allocation.journal
                 ):
                     return False
-                allocation.record_reservation_id(node_id, delta_up, delta_down)
-        vm_server[vm] = server
+                allocation.record_reservation(node, delta_up, delta_down)
+        allocation.vm_server[vm] = server
         return True

@@ -12,27 +12,17 @@ uplink reservation drops back toward zero.
 Reservations below the current allocation root (``ceiling``) are enforced
 during placement; the links from the allocation root up to the tree root
 are reserved once at :meth:`finalize` (Algorithm 1 line 6).
-
-Hot-path layout (the flat-core refactor): root-path walks iterate the
-topology's precomputed ancestor id tuples instead of chasing
-``Node.parent``; per-node reservations are ``(out, into)`` float pairs;
-undo records are plain tuples; and the two shipped requirement functions
-(TAG Eq. 1 and the footnote-7 VOC form) are *compiled* per tag into
-closures over a flattened edge table, replicating the originals'
-arithmetic term-for-term so results are bit-identical.  A custom
-``requirement`` callable is used as-is.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
 from repro.core.bandwidth import BandwidthDemand, uplink_requirement
 from repro.core.tag import Tag
 from repro.errors import ReproError, TagError
-from repro.topology.ledger import Journal, Ledger
+from _legacy.ledger import Journal, Ledger
 from repro.topology.tree import Node
 
 __all__ = ["TenantAllocation", "RequirementFn", "Savepoint"]
@@ -59,16 +49,7 @@ def _resize_tag(tag: Tag, tier: str, delta: int) -> Tag:
 
 RequirementFn = Callable[[Tag, Mapping[str, int]], BandwidthDemand]
 
-_ZERO = (0.0, 0.0)
-_INF = math.inf
-
-# Undo-log op tags (plain tuples, see the module docstring):
-#   (_OP_COUNT, node_id, tier, delta)
-#   (_OP_RESERVED, node_id, prev_out, prev_into)
-#   (_OP_RESIZE, prev_tag, prev_remaining_dict, prev_finalized)
-_OP_COUNT = 0
-_OP_RESERVED = 1
-_OP_RESIZE = 2
+_ZERO = BandwidthDemand(0.0, 0.0)
 
 
 @dataclass(frozen=True)
@@ -79,94 +60,24 @@ class Savepoint:
     state_ops: int
 
 
-def _compile_uplink_requirement(tag: Tag) -> Callable[[Mapping[str, int]], tuple[float, float]]:
-    """Compile Eq. 1 for ``tag`` into a closure over a flat edge table.
-
-    Term-for-term identical to
-    :func:`repro.core.bandwidth.uplink_requirement` (same edge order,
-    same ``inf * 0 == 0`` convention, same accumulation order), minus
-    the per-call component lookups and input validation — the counts it
-    sees are maintained internally and always in range.
-    """
-    edges = tuple(
-        (
-            edge.src,
-            edge.dst,
-            edge.send,
-            edge.recv,
-            tag.component(edge.src).size,
-            tag.component(edge.dst).size,
-        )
-        for edge in tag.iter_edges()
-    )
-
-    def requirement(inside: Mapping[str, int]) -> tuple[float, float]:
-        out = 0.0
-        into = 0.0
-        get = inside.get
-        for src, dst, send, recv, src_size, dst_size in edges:
-            src_in = get(src, 0)
-            dst_in = get(dst, 0)
-            src_out = _INF if src_size is None else src_size - src_in
-            dst_out = _INF if dst_size is None else dst_size - dst_in
-            if src_in > 0 and dst_out > 0:
-                lhs = 0.0 if send == 0.0 or src_in == 0.0 else src_in * send
-                rhs = 0.0 if recv == 0.0 or dst_out == 0.0 else dst_out * recv
-                out += lhs if lhs < rhs else rhs
-            if src_out > 0 and dst_in > 0:
-                lhs = 0.0 if send == 0.0 or src_out == 0.0 else src_out * send
-                rhs = 0.0 if recv == 0.0 or dst_in == 0.0 else dst_in * recv
-                into += lhs if lhs < rhs else rhs
-        return out, into
-
-    return requirement
+@dataclass(frozen=True)
+class _CountOp:
+    node_id: int
+    tier: str
+    delta: int
 
 
-def _compile_voc_requirement(tag: Tag) -> Callable[[Mapping[str, int]], tuple[float, float]]:
-    """Compile the footnote-7 VOC requirement for ``tag`` (see above)."""
-    trunk = tuple(
-        (
-            edge.src,
-            edge.dst,
-            edge.send,
-            edge.recv,
-            tag.component(edge.src).size,
-            tag.component(edge.dst).size,
-        )
-        for edge in tag.iter_edges()
-        if not edge.is_self_loop
-    )
-    loops = {
-        edge.src: (edge.send, tag.component(edge.src).size or 0)
-        for edge in tag.iter_edges()
-        if edge.is_self_loop
-    }
+@dataclass(frozen=True)
+class _ReservedOp:
+    node_id: int
+    prev: BandwidthDemand
 
-    def requirement(inside: Mapping[str, int]) -> tuple[float, float]:
-        send_inside = recv_outside = 0.0
-        send_outside = recv_inside = 0.0
-        get = inside.get
-        for src, dst, send, recv, src_size, dst_size in trunk:
-            src_in = get(src, 0)
-            dst_in = get(dst, 0)
-            src_out = _INF if src_size is None else src_size - src_in
-            dst_out = _INF if dst_size is None else dst_size - dst_in
-            send_inside += src_in * send
-            send_outside += 0.0 if send == 0 else src_out * send
-            recv_inside += dst_in * recv
-            recv_outside += 0.0 if recv == 0 else dst_out * recv
-        hose = 0.0
-        for name, count in inside.items():
-            loop = loops.get(name)
-            if loop is not None:
-                send, size = loop
-                hose += min(count, size - count) * send
-        return (
-            min(send_inside, recv_outside) + hose,
-            min(send_outside, recv_inside) + hose,
-        )
 
-    return requirement
+@dataclass(frozen=True)
+class _ResizeOp:
+    prev_tag: Tag
+    prev_remaining: dict[str, int]
+    prev_finalized: bool
 
 
 class TenantAllocation:
@@ -195,45 +106,13 @@ class TenantAllocation:
         self.requirement = requirement
         self.journal = Journal()
         self.finalized = False
-        self._flat = ledger.flat
         self._counts: dict[int, dict[str, int]] = {}
-        self._reserved: dict[int, tuple[float, float]] = {}
-        self._state_ops: list[tuple] = []
+        self._reserved: dict[int, BandwidthDemand] = {}
+        self._state_ops: list[object] = []
         self._placed = 0
         self._remaining = {
             c.name: c.size for c in tag.internal_components() if c.size is not None
         }
-        self._compiled_for: Tag | None = None
-        self._require: Callable[[Mapping[str, int]], tuple[float, float]]
-        self._tier_sizes: dict[str, int | None] = {}
-        self._recompile()
-
-    def _recompile(self) -> None:
-        """(Re)build the per-tag caches; called whenever ``tag`` rebinds."""
-        tag = self.tag
-        requirement = self.requirement
-        if requirement is uplink_requirement:
-            self._require = _compile_uplink_requirement(tag)
-        else:
-            from repro.models.voc import voc_uplink_requirement
-
-            if requirement is voc_uplink_requirement:
-                self._require = _compile_voc_requirement(tag)
-            else:
-
-                def generic(inside: Mapping[str, int]) -> tuple[float, float]:
-                    demand = requirement(tag, inside)
-                    return demand.out, demand.into
-
-                self._require = generic
-        self._tier_sizes = {
-            name: component.size for name, component in tag.components.items()
-        }
-        self._internal_tiers = tuple(
-            c.name for c in tag.internal_components()
-        )
-        self._tag_size = tag.size
-        self._compiled_for = tag
 
     # ------------------------------------------------------------------
     # queries
@@ -244,9 +123,7 @@ class TenantAllocation:
 
     @property
     def is_complete(self) -> bool:
-        if self._compiled_for is not self.tag:
-            self._recompile()
-        return self._placed == self._tag_size
+        return self._placed == self.tag.size
 
     def remaining(self, tier: str) -> int:
         """VMs of ``tier`` still to place."""
@@ -255,44 +132,25 @@ class TenantAllocation:
     def remaining_tiers(self) -> dict[str, int]:
         return {t: n for t, n in self._remaining.items() if n > 0}
 
-    def tier_size(self, tier: str) -> int | None:
-        """Declared size of ``tier`` (cached; ``None`` for unsized)."""
-        if self._compiled_for is not self.tag:
-            self._recompile()
-        return self._tier_sizes[tier]
-
-    @property
-    def internal_tiers(self) -> tuple[str, ...]:
-        """Names of the tiers whose VMs this allocation places (cached)."""
-        if self._compiled_for is not self.tag:
-            self._recompile()
-        return self._internal_tiers
-
     def count(self, node: Node, tier: str) -> int:
         """VMs of ``tier`` currently placed in the subtree under ``node``."""
-        counts = self._counts.get(node.node_id)
-        return 0 if counts is None else counts.get(tier, 0)
-
-    def count_id(self, node_id: int, tier: str) -> int:
-        """Id-indexed :meth:`count` for hot loops."""
-        counts = self._counts.get(node_id)
-        return 0 if counts is None else counts.get(tier, 0)
+        return self._counts.get(node.node_id, {}).get(tier, 0)
 
     def counts_under(self, node: Node) -> Mapping[str, int]:
         return dict(self._counts.get(node.node_id, {}))
 
     def reserved_on(self, node: Node) -> BandwidthDemand:
         """This tenant's current reservation on ``node``'s uplink."""
-        return BandwidthDemand(*self._reserved.get(node.node_id, _ZERO))
+        return self._reserved.get(node.node_id, _ZERO)
 
     def iter_server_placements(self) -> Iterator[tuple[Node, Mapping[str, int]]]:
         """Yield ``(server, {tier: count})`` for every server used."""
-        flat = self._flat
         for node_id, counts in self._counts.items():
-            if flat.is_server[node_id]:
+            node = self.ledger.topology.node(node_id)
+            if node.is_server:
                 placed = {t: n for t, n in counts.items() if n > 0}
                 if placed:
-                    yield flat.node_of[node_id], placed  # type: ignore[misc]
+                    yield node, placed
 
     def iter_node_counts(self) -> Iterator[tuple[Node, Mapping[str, int]]]:
         """Yield ``(node, {tier: count})`` for every touched node.
@@ -300,17 +158,16 @@ class TenantAllocation:
         Used to re-account a finished placement under a *different*
         abstraction's requirement function (Table 1's CM+VOC column).
         """
-        flat = self._flat
         for node_id, counts in self._counts.items():
             live = {t: n for t, n in counts.items() if n > 0}
             if live:
-                yield flat.node_of[node_id], live  # type: ignore[misc]
+                yield self.ledger.topology.node(node_id), live
 
     def tier_spread(self, tier: str, level: int) -> dict[int, int]:
         """Per-fault-domain VM counts of ``tier`` at ``level`` (WCS input)."""
         spread: dict[int, int] = {}
         for node in self.ledger.topology.level_nodes(level):
-            count = self.count_id(node.node_id, tier)
+            count = self.count(node, tier)
             if count:
                 spread[node.node_id] = count
         return spread
@@ -324,26 +181,23 @@ class TenantAllocation:
     def rollback(self, savepoint: Savepoint) -> None:
         """Undo everything placed since ``savepoint`` (Algorithm 1 Dealloc)."""
         self.ledger.rollback(self.journal, savepoint.ledger_ops)
-        ops = self._state_ops
-        is_server = self._flat.is_server
-        while len(ops) > savepoint.state_ops:
-            op = ops.pop()
-            tag = op[0]
-            if tag == _OP_COUNT:
-                _, node_id, tier, delta = op
-                counts = self._counts[node_id]
-                counts[tier] -= delta
-                if counts[tier] == 0:
-                    del counts[tier]
-                if is_server[node_id]:
-                    self._placed -= delta
-                    self._remaining[tier] += delta
-            elif tag == _OP_RESERVED:
-                self._reserved[op[1]] = (op[2], op[3])
-            elif tag == _OP_RESIZE:
-                self.tag = op[1]
-                self._remaining = dict(op[2])
-                self.finalized = op[3]
+        while len(self._state_ops) > savepoint.state_ops:
+            op = self._state_ops.pop()
+            if isinstance(op, _CountOp):
+                counts = self._counts[op.node_id]
+                counts[op.tier] -= op.delta
+                if counts[op.tier] == 0:
+                    del counts[op.tier]
+                node = self.ledger.topology.node(op.node_id)
+                if node.is_server:
+                    self._placed -= op.delta
+                    self._remaining[op.tier] += op.delta
+            elif isinstance(op, _ReservedOp):
+                self._reserved[op.node_id] = op.prev
+            elif isinstance(op, _ResizeOp):
+                self.tag = op.prev_tag
+                self._remaining = dict(op.prev_remaining)
+                self.finalized = op.prev_finalized
             else:  # pragma: no cover - defensive
                 raise ReproError(f"unknown state op {op!r}")
 
@@ -372,13 +226,11 @@ class TenantAllocation:
             )
         if not self.ledger.reserve_slots(server, count, self.journal):
             return False
-        server_id = server.node_id
-        self._bump_counts(server_id, tier, count)
-        ceiling_id = ceiling.node_id
-        for node_id in self._flat.ancestors[server_id]:
-            if node_id == ceiling_id:
+        self._bump_counts(server, tier, count)
+        for node in self.ledger.topology.ancestors(server, include_self=True):
+            if node.node_id == ceiling.node_id:
                 break
-            self._update_reservation(node_id)
+            self._update_reservation(node)
         return True
 
     def finalize(self, allocation_root: Node) -> bool:
@@ -392,8 +244,8 @@ class TenantAllocation:
         if not self.is_complete:
             raise ReproError("finalize() requires a complete placement")
         savepoint = self.savepoint()
-        for node_id in self._flat.path_up[allocation_root.node_id]:
-            self._update_reservation(node_id)
+        for node in self.ledger.topology.path_to_root(allocation_root):
+            self._update_reservation(node)
         if self.ledger.has_overcommit():
             self.rollback(savepoint)
             return False
@@ -402,12 +254,12 @@ class TenantAllocation:
 
     def release(self) -> None:
         """Release every slot and reservation (tenant departure)."""
-        ledger = self.ledger
-        for node_id, (out, into) in self._reserved.items():
-            if out or into:
-                ledger.release_uplink_id(node_id, out, into)
+        for node_id, demand in self._reserved.items():
+            if demand.out or demand.into:
+                node = self.ledger.topology.node(node_id)
+                self.ledger.release_uplink(node, demand.out, demand.into)
         for server, placed in list(self.iter_server_placements()):
-            ledger.release_slots(server, sum(placed.values()))
+            self.ledger.release_slots(server, sum(placed.values()))
         self._counts.clear()
         self._reserved.clear()
         self._state_ops.clear()
@@ -432,7 +284,7 @@ class TenantAllocation:
             raise ReproError(f"scale-up amount must be positive, got {extra}")
         new_tag = _resize_tag(self.tag, tier, extra)
         self._state_ops.append(
-            (_OP_RESIZE, self.tag, dict(self._remaining), self.finalized)
+            _ResizeOp(self.tag, dict(self._remaining), self.finalized)
         )
         self.tag = new_tag
         self._remaining[tier] = self._remaining.get(tier, 0) + extra
@@ -486,8 +338,8 @@ class TenantAllocation:
             take = min(count, left)
             left -= take
             self.ledger.release_slots(server, take)
-            for node_id in self._flat.ancestors[server.node_id]:
-                counts = self._counts[node_id]
+            for node in self.ledger.topology.ancestors(server, include_self=True):
+                counts = self._counts[node.node_id]
                 counts[tier] -= take
                 if counts[tier] == 0:
                     del counts[tier]
@@ -497,60 +349,50 @@ class TenantAllocation:
 
     def _refresh_all_reservations(self, journalled: bool = True) -> None:
         """Re-derive every touched uplink's reservation from current counts."""
-        if self._compiled_for is not self.tag:
-            self._recompile()
-        root_id = self._flat.root_id
         for node_id in list(self._counts):
-            if node_id == root_id:
+            node = self.ledger.topology.node(node_id)
+            if node.is_root:
                 continue
-            out, into = self._require(self._counts.get(node_id, {}))
-            prev_out, prev_into = self._reserved.get(node_id, _ZERO)
+            required = self.requirement(self.tag, self._counts.get(node_id, {}))
+            previous = self._reserved.get(node_id, _ZERO)
             if journalled:
-                self.ledger.adjust_uplink_id(
-                    node_id,
-                    out - prev_out,
-                    into - prev_into,
+                self.ledger.adjust_uplink(
+                    node,
+                    required.out - previous.out,
+                    required.into - previous.into,
                     self.journal,
                     enforce=False,
                 )
-                self._state_ops.append(
-                    (_OP_RESERVED, node_id, prev_out, prev_into)
-                )
+                self._state_ops.append(_ReservedOp(node_id, previous))
             else:
-                delta_out = out - prev_out
-                delta_in = into - prev_into
+                delta_out = required.out - previous.out
+                delta_in = required.into - previous.into
                 if delta_out > 0 or delta_in > 0:
                     raise ReproError(
                         "scale-down unexpectedly raised a reservation"
                     )
-                self.ledger.release_uplink_id(node_id, -delta_out, -delta_in)
-            self._reserved[node_id] = (out, into)
+                self.ledger.release_uplink(node, -delta_out, -delta_in)
+            self._reserved[node_id] = required
 
     # ------------------------------------------------------------------
-    def _bump_counts(self, server_id: int, tier: str, count: int) -> None:
-        counts_by_node = self._counts
-        ops = self._state_ops
-        for node_id in self._flat.ancestors[server_id]:
-            counts = counts_by_node.get(node_id)
-            if counts is None:
-                counts = counts_by_node[node_id] = {}
+    def _bump_counts(self, server: Node, tier: str, count: int) -> None:
+        for node in self.ledger.topology.ancestors(server, include_self=True):
+            counts = self._counts.setdefault(node.node_id, {})
             counts[tier] = counts.get(tier, 0) + count
-            ops.append((_OP_COUNT, node_id, tier, count))
+            self._state_ops.append(_CountOp(node.node_id, tier, count))
         self._placed += count
         self._remaining[tier] -= count
 
-    def _update_reservation(self, node_id: int) -> None:
-        """Recompute the requirement on ``node_id``'s uplink, apply the delta."""
-        if self._compiled_for is not self.tag:
-            self._recompile()
-        out, into = self._require(self._counts.get(node_id, {}))
-        prev_out, prev_into = self._reserved.get(node_id, _ZERO)
-        self.ledger.adjust_uplink_id(
-            node_id,
-            out - prev_out,
-            into - prev_into,
+    def _update_reservation(self, node: Node) -> None:
+        """Recompute the requirement on ``node``'s uplink, apply the delta."""
+        required = self.requirement(self.tag, self._counts.get(node.node_id, {}))
+        previous = self._reserved.get(node.node_id, _ZERO)
+        self.ledger.adjust_uplink(
+            node,
+            required.out - previous.out,
+            required.into - previous.into,
             self.journal,
             enforce=False,
         )
-        self._state_ops.append((_OP_RESERVED, node_id, prev_out, prev_into))
-        self._reserved[node_id] = (out, into)
+        self._state_ops.append(_ReservedOp(node.node_id, previous))
+        self._reserved[node.node_id] = required

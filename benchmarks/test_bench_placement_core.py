@@ -1,0 +1,141 @@
+"""Benchmark: the flat array-backed placement core vs the seed core.
+
+Re-runs the ``runtime`` scenario's measurement — single-tenant placement
+latency on an empty datacenter across tenant sizes — twice on identical
+inputs: once through the frozen pre-refactor stack under
+``benchmarks/_legacy`` (dict-backed ledger, dataclass journal ops,
+``Node.parent`` pointer walks) and once through the live flat-core
+stack.  Asserts the two stacks make *identical placement decisions*
+(same accept/reject outcome, same per-server VM layout for every
+algorithm), then records the per-size throughput ratio in
+``BENCH_placement_core.json``.
+
+Scale knobs: ``REPRO_BENCH_PODS`` (default 2, the runtime scenario's
+default) and ``REPRO_BENCH_CORE_SIZES`` (comma-separated tenant sizes,
+default the scenario's ``25,100,400,1000``).  The CI smoke job runs a
+reduced ``25,100,400`` ladder.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from _legacy.cloudmirror import CloudMirrorPlacer as LegacyCloudMirror
+from _legacy.ledger import Ledger as LegacyLedger
+from _legacy.oktopus import OktopusPlacer as LegacyOktopus
+from _legacy.secondnet import SecondNetPlacer as LegacySecondNet
+
+from repro.placement.base import Placement
+from repro.placement.cloudmirror import CloudMirrorPlacer
+from repro.placement.oktopus import OktopusPlacer
+from repro.placement.secondnet import SecondNetPlacer
+from repro.topology.builder import DatacenterSpec, three_level_tree
+from repro.topology.ledger import Ledger
+from repro.workloads.patterns import three_tier
+
+OUTPUT = Path("BENCH_placement_core.json")
+
+SECONDNET_SIZE_CAP = 120  # matches the runtime scenario's default cap
+
+_PLACERS = {
+    "cm": (LegacyCloudMirror, CloudMirrorPlacer),
+    "ovoc": (LegacyOktopus, OktopusPlacer),
+    "secondnet": (LegacySecondNet, SecondNetPlacer),
+}
+
+
+def _sizes() -> tuple[int, ...]:
+    raw = os.environ.get("REPRO_BENCH_CORE_SIZES", "25,100,400,1000")
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def _tenant(vms: int):
+    third = max(1, vms // 3)
+    return three_tier(
+        f"rt-{vms}", (vms - 2 * third, third, third), b1=200.0, b2=50.0, b3=20.0
+    )
+
+
+def _layout(result) -> object:
+    """Canonical per-server VM layout of a placement (or the rejection)."""
+    if not isinstance(result, Placement):
+        return "rejected"
+    return sorted(
+        (server.node_id, tuple(sorted(counts.items())))
+        for server, counts in result.allocation.iter_server_placements()
+    )
+
+
+def _measure(ledger_cls, placer_cls, topology, tenant, repeats: int):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        placer = placer_cls(ledger_cls(topology))
+        started = time.perf_counter()
+        result = placer.place(tenant)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_placement_core_before_after(bench_pods):
+    pods = max(bench_pods, 2)
+    topology = three_level_tree(DatacenterSpec(pods=pods))
+    sizes = _sizes()
+    rows = []
+    for vms in sizes:
+        tenant = _tenant(vms)
+        repeats = 5 if vms <= 400 else 3
+        for algorithm, (legacy_cls, new_cls) in _PLACERS.items():
+            if algorithm == "secondnet" and vms > SECONDNET_SIZE_CAP:
+                continue
+            old_seconds, old_result = _measure(
+                LegacyLedger, legacy_cls, topology, tenant, repeats
+            )
+            new_seconds, new_result = _measure(
+                Ledger, new_cls, topology, tenant, repeats
+            )
+            assert isinstance(old_result, Placement) == isinstance(
+                new_result, Placement
+            ), f"{algorithm}@{vms}: accept/reject outcome diverged"
+            assert _layout(old_result) == _layout(new_result), (
+                f"{algorithm}@{vms}: placement layout diverged from the "
+                f"pre-refactor core"
+            )
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "vms": vms,
+                    "old_ms": round(old_seconds * 1e3, 3),
+                    "new_ms": round(new_seconds * 1e3, 3),
+                    "speedup": round(old_seconds / new_seconds, 2),
+                }
+            )
+
+    largest = max(sizes)
+    at_largest = [row for row in rows if row["vms"] == largest]
+    old_total = sum(row["old_ms"] for row in at_largest)
+    new_total = sum(row["new_ms"] for row in at_largest)
+    headline = old_total / new_total
+    # Regression floor: the flat core must stay well ahead of the seed
+    # implementation at the largest size.  Overridable (e.g. set to 0 on
+    # noisy shared CI runners, where timing ratios are not trustworthy
+    # enough to gate on — the recorded JSON still shows the ratio).
+    floor = float(os.environ.get("REPRO_BENCH_CORE_MIN_SPEEDUP", "2.0"))
+    assert headline >= floor, f"largest-size speedup regressed to {headline:.2f}x"
+
+    report = {
+        "benchmark": "placement_core",
+        "scenario": "runtime",
+        "pods": pods,
+        "sizes": list(sizes),
+        "rows": rows,
+        "largest_size": largest,
+        "largest_size_speedup": round(headline, 2),
+        "python": platform.python_version(),
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))

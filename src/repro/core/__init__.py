@@ -11,6 +11,7 @@ from repro.core.bandwidth import (
     uplink_requirement,
     wcs_cap,
 )
+from repro.core.constants import CONVERGENCE_EPSILON, EPSILON
 from repro.core.serialize import (
     tag_from_dict,
     tag_from_json,
@@ -21,7 +22,9 @@ from repro.core.tag import Component, Tag, TagEdge
 
 __all__ = [
     "BandwidthDemand",
+    "CONVERGENCE_EPSILON",
     "Component",
+    "EPSILON",
     "Tag",
     "TagEdge",
     "achieved_wcs",

@@ -1,0 +1,30 @@
+"""Numeric tolerances shared across the reservation and enforcement code.
+
+Capacity comparisons throughout the repo operate on Mbps floats that are
+sums and differences of Eq. 1 terms, so exact equality is meaningless;
+every layer that asks "does this fit?" must agree on one slack value or
+a reservation the ledger accepts could fail the validator (and vice
+versa).  These constants are that single source of truth:
+
+``EPSILON``
+    Capacity tolerance (Mbps) for reservation bookkeeping and guarantee
+    validation: the ledger's overcommit test and the traffic validator's
+    default ``tolerance`` parameter.
+
+``CONVERGENCE_EPSILON``
+    Termination threshold for iterative rate computations: progressive
+    filling freezes a link or flow when its residual drops below this.
+    Deliberately tighter than ``EPSILON`` — max-min rates are *outputs*
+    refined over many iterations, not one-shot capacity checks.
+
+Functions that expose a tolerance as a keyword argument keep it (callers
+may widen it per use); only their defaults live here.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EPSILON", "CONVERGENCE_EPSILON"]
+
+EPSILON = 1e-6
+
+CONVERGENCE_EPSILON = 1e-9

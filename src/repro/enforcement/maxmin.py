@@ -13,6 +13,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Hashable, Sequence
 
+from repro.core.constants import CONVERGENCE_EPSILON
 from repro.errors import EnforcementError
 
 __all__ = ["FlowSpec", "maxmin_rates"]
@@ -80,12 +81,12 @@ def maxmin_rates(
             residual[link] -= increment * link_users[link]
         frozen: set[int] = set()
         for link, users in link_users.items():
-            if residual[link] <= 1e-9:
+            if residual[link] <= CONVERGENCE_EPSILON:
                 for index in active:
                     if link in flows[index].links:
                         frozen.add(index)
         for index in active:
-            if flows[index].limit - rates[index] <= 1e-9:
+            if flows[index].limit - rates[index] <= CONVERGENCE_EPSILON:
                 frozen.add(index)
         if not frozen:
             # Numerical stall; freeze everything to terminate.

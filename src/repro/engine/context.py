@@ -66,8 +66,15 @@ def get_scaled_pool(name: str, bmax: float) -> tuple[Tag, ...]:
 @lru_cache(maxsize=32)
 def get_topology(spec: DatacenterSpec, unlimited: bool = False) -> Topology:
     """A built topology per spec.  Safe to share: topologies are immutable
-    (all reservation state lives in per-trial :class:`Ledger` instances)."""
-    return three_level_tree(spec, unlimited=unlimited)
+    (all reservation state lives in per-trial :class:`Ledger` instances).
+
+    The flat array view (precomputed ancestor/path tuples, server spans,
+    subtree slot totals) is materialized here, once per process, so every
+    trial's ledger and placers start from the shared arrays instead of
+    racing to build them on first use."""
+    topology = three_level_tree(spec, unlimited=unlimited)
+    topology.flat  # noqa: B018 - force one-time materialization
+    return topology
 
 
 @dataclass

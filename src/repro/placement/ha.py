@@ -119,17 +119,25 @@ def tier_cap_left(ha: HaPolicy, allocation, node: Node, tier: str) -> int:
 
     Checks ``node`` and every ancestor at or below the anti-affinity level
     (the cap constrains *all* fault-domain subtrees).  Returns the tier
-    size when the policy guarantees nothing.
+    size when the policy guarantees nothing.  Reads the allocation's
+    cached tier size and walks precomputed ancestor ids — this runs once
+    per (child, tier) candidate in every placer inner loop.
     """
-    size = allocation.tag.component(tier).size
+    size = allocation.tier_size(tier)
     assert size is not None
     headroom = size
     if ha.guarantees_wcs:
         cap = ha.tier_cap(size)
-        current = node
-        while current is not None and current.level <= ha.laa_level:
-            headroom = min(headroom, cap - allocation.count(current, tier))
-            current = current.parent
+        flat = allocation.ledger.flat
+        level = flat.level
+        laa_level = ha.laa_level
+        count_id = allocation.count_id
+        for node_id in flat.ancestors[node.node_id]:
+            if level[node_id] > laa_level:
+                break
+            left = cap - count_id(node_id, tier)
+            if left < headroom:
+                headroom = left
     return max(0, headroom)
 
 

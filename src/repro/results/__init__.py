@@ -43,6 +43,7 @@ from repro.results.codecs import (
     codec_version,
     register_codec,
 )
+from repro.results.export import EXPORT_FORMATS, export_rows, export_store
 from repro.results.fingerprint import canonical_trial, trial_fingerprint
 from repro.results.present import (
     aggregate_chart,
@@ -56,6 +57,7 @@ from repro.results.store import ResultStore, StoredRow
 __all__ = [
     "Aggregate",
     "Codec",
+    "EXPORT_FORMATS",
     "MetricSample",
     "ResultStore",
     "ShardSpec",
@@ -68,6 +70,8 @@ __all__ = [
     "codec_for",
     "codec_names",
     "codec_version",
+    "export_rows",
+    "export_store",
     "parse_shard",
     "register_codec",
     "samples_from_results",

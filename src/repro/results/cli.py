@@ -5,22 +5,28 @@
     repro results list  runs.sqlite                 # per-scenario rollup
     repro results show  runs.sqlite fig08           # mean ± 95% CI table
     repro results show  runs.sqlite fig08 --metric bw_rejection_rate
+    repro results export runs.sqlite --format csv -o trials.csv
+    repro results export runs.sqlite --format jsonl --scenario fig08
     repro results merge merged.sqlite a.sqlite b.sqlite
     repro results gc    runs.sqlite                 # drop stale-codec rows
 
 ``merge`` combines per-shard stores (see ``repro run --shard i/n``) by
 copying rows verbatim; aggregating the merged store is bit-identical to
-aggregating a single full-matrix run.  ``gc`` reclaims rows whose codec
-version no longer matches the code.
+aggregating a single full-matrix run.  ``export`` writes one row per
+stored trial (grid-point columns plus flattened payload metrics) for
+pandas/R analysis.  ``gc`` reclaims rows whose codec version no longer
+matches the code.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from pathlib import Path
 
 from repro.errors import ReproError, ResultsError
 from repro.results.aggregate import aggregate, samples_from_store
+from repro.results.export import EXPORT_FORMATS, export_store
 from repro.results.present import (
     aggregate_chart,
     aggregate_table,
@@ -69,6 +75,26 @@ def _show(args: argparse.Namespace) -> int:
     return 0
 
 
+def _export(args: argparse.Namespace) -> int:
+    with _open_existing(args.store) as store:
+        text, count = export_store(
+            store, args.format, scenario=args.scenario, kind=args.kind
+        )
+    if count == 0:
+        # stdout is the data stream when no -o is given; diagnostics go
+        # to stderr so piped consumers see an empty stream, not a row.
+        print("no stored results match the filter", file=sys.stderr)
+        return 1
+    if args.output is None:
+        print(text, end="")
+    else:
+        # utf-8 + no newline translation: equal stores must export
+        # byte-identical files on every platform.
+        Path(args.output).write_text(text, encoding="utf-8", newline="")
+        print(f"wrote {count} rows to {args.output}")
+    return 0
+
+
 def _merge(args: argparse.Namespace) -> int:
     sources = [_open_existing(path) for path in args.sources]
     with ResultStore(args.dest) as dest:
@@ -112,6 +138,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="CI confidence level (default 0.95)",
     )
     show_cmd.set_defaults(handler=_show)
+
+    export_cmd = commands.add_parser(
+        "export", help="one row per stored trial, CSV or JSON-lines"
+    )
+    export_cmd.add_argument("store", help="path to a results store")
+    export_cmd.add_argument(
+        "--format", choices=EXPORT_FORMATS, default="csv",
+        help="output format (default csv)",
+    )
+    export_cmd.add_argument(
+        "--scenario", help="restrict to one scenario, e.g. fig08"
+    )
+    export_cmd.add_argument("--kind", help="restrict to one trial kind")
+    export_cmd.add_argument(
+        "-o", "--output",
+        help="destination file (default: print to stdout)",
+    )
+    export_cmd.set_defaults(handler=_export)
 
     merge_cmd = commands.add_parser(
         "merge", help="combine per-shard stores into one"

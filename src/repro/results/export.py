@@ -1,0 +1,110 @@
+"""Export stored trial results to CSV or JSON-lines for external tools.
+
+One output row per stored trial: the grid-point identity columns
+(scenario, kind, variant, topology, load, B_max, seed, x, arrivals),
+bookkeeping (fingerprint, codec version, original wall seconds), and the
+payload flattened to its scalar metric series via the kind's codec
+``metrics`` extractor — exactly the numbers the in-repo aggregation
+layer averages, so a pandas/R analysis starts from the same series the
+ASCII charts render.
+
+Metric columns are the sorted union across the exported rows; a row
+without a given metric leaves the cell empty (CSV) or omits the key
+(JSONL).  Rows come out in the store's deterministic order, so equal
+stores export byte-identical files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Iterable
+
+from repro.errors import ResultsError
+from repro.results.store import ResultStore, StoredRow
+
+__all__ = ["EXPORT_FORMATS", "export_rows", "export_store"]
+
+EXPORT_FORMATS = ("csv", "jsonl")
+
+_IDENTITY_COLUMNS = (
+    "scenario",
+    "kind",
+    "variant",
+    "topology",
+    "load",
+    "bmax",
+    "seed",
+    "x",
+    "arrivals",
+    "elapsed",
+    "codec_version",
+    "fingerprint",
+)
+
+
+def _flatten(row: StoredRow) -> dict[str, Any]:
+    flat: dict[str, Any] = {
+        "scenario": row.scenario,
+        "kind": row.kind,
+        "variant": row.variant,
+        "topology": row.topology,
+        "load": row.load,
+        "bmax": row.bmax,
+        "seed": row.seed,
+        "x": row.x if isinstance(row.x, (int, float, str)) else json.dumps(row.x),
+        "arrivals": row.arrivals,
+        "elapsed": row.elapsed,
+        "codec_version": row.codec_version,
+        "fingerprint": row.fingerprint,
+    }
+    return flat
+
+
+def export_rows(
+    rows: Iterable[StoredRow], fmt: str
+) -> str:
+    """Render stored rows in ``fmt`` (one of :data:`EXPORT_FORMATS`)."""
+    if fmt not in EXPORT_FORMATS:
+        raise ResultsError(
+            f"unknown export format {fmt!r}; options: {EXPORT_FORMATS}"
+        )
+    flattened: list[dict[str, Any]] = []
+    metric_names: set[str] = set()
+    for row in rows:
+        flat = _flatten(row)
+        metrics = row.metrics()
+        metric_names.update(metrics)
+        for name, value in metrics.items():
+            flat[f"metric_{name}"] = value
+        flattened.append(flat)
+    metric_columns = tuple(f"metric_{name}" for name in sorted(metric_names))
+    if fmt == "jsonl":
+        lines = [
+            json.dumps(flat, sort_keys=True, separators=(",", ":"))
+            for flat in flattened
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+    buffer = io.StringIO()
+    writer = csv.DictWriter(
+        buffer,
+        fieldnames=_IDENTITY_COLUMNS + metric_columns,
+        restval="",
+        lineterminator="\n",
+    )
+    writer.writeheader()
+    writer.writerows(flattened)
+    return buffer.getvalue()
+
+
+def export_store(
+    store: ResultStore,
+    fmt: str,
+    *,
+    scenario: str | None = None,
+    kind: str | None = None,
+) -> tuple[str, int]:
+    """Export (optionally filtered) rows; returns ``(text, row_count)``."""
+    rows = store.rows(scenario=scenario, kind=kind)
+    return export_rows(rows, fmt), len(rows)

@@ -8,7 +8,6 @@ runs CloudMirror, Oktopus and SecondNet.
 from __future__ import annotations
 
 import heapq
-import math
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -76,12 +75,10 @@ class ClusterManager:
         topology = self.ledger.topology
         total_slots = topology.total_slots
         slot_fraction = 1.0 - self.ledger.free_slots(topology.root) / total_slots
-        used = capacity = 0.0
-        for server in topology.servers:
-            if math.isfinite(server.uplink_up):
-                used += self.ledger.reserved_up(server)
-                capacity += server.uplink_up
-        bandwidth_fraction = used / capacity if capacity else 0.0
+        # Sampled after *every* admission: the ledger sums its flat
+        # usage array over a precomputed finite-capacity server id list
+        # instead of walking Node objects.
+        bandwidth_fraction = self.ledger.server_bandwidth_fraction()
         self.metrics.utilization.append(
             UtilizationSample(slot_fraction, bandwidth_fraction)
         )

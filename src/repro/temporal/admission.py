@@ -62,6 +62,9 @@ class TemporalLedger:
         if windows < 1:
             raise SimulationError("need at least one time window")
         self.topology = topology
+        # The flat array view the placement machinery drives its path
+        # walks from (shared by every plane; structure is per-topology).
+        self.flat = topology.flat
         self.windows = windows
         self.planes = [Ledger(topology) for _ in range(windows)]
         self._plane_journals = [Journal() for _ in range(windows)]
@@ -89,20 +92,42 @@ class TemporalLedger:
     def free_slots(self, node: Node) -> int:
         return self.planes[0].free_slots(node)
 
+    def free_slots_id(self, node_id: int) -> int:
+        return self.planes[0].free_slots_id(node_id)
+
     def used_slots(self, server: Node) -> int:
         return self.planes[0].used_slots(server)
+
+    def used_slots_id(self, server_id: int) -> int:
+        return self.planes[0].used_slots_id(server_id)
 
     def available_up(self, node: Node) -> float:
         return min(plane.available_up(node) for plane in self.planes)
 
+    def available_up_id(self, node_id: int) -> float:
+        return min(plane.available_up_id(node_id) for plane in self.planes)
+
     def available_down(self, node: Node) -> float:
         return min(plane.available_down(node) for plane in self.planes)
+
+    def available_down_id(self, node_id: int) -> float:
+        return min(plane.available_down_id(node_id) for plane in self.planes)
 
     def nominal_available_up(self, node: Node) -> float:
         return min(plane.nominal_available_up(node) for plane in self.planes)
 
+    def nominal_available_up_id(self, node_id: int) -> float:
+        return min(
+            plane.nominal_available_up_id(node_id) for plane in self.planes
+        )
+
     def nominal_available_down(self, node: Node) -> float:
         return min(plane.nominal_available_down(node) for plane in self.planes)
+
+    def nominal_available_down_id(self, node_id: int) -> float:
+        return min(
+            plane.nominal_available_down_id(node_id) for plane in self.planes
+        )
 
     def reserved_up(self, node: Node) -> float:
         return max(plane.reserved_up(node) for plane in self.planes)
@@ -136,10 +161,22 @@ class TemporalLedger:
         journal: Journal,
         enforce: bool = True,
     ) -> bool:
+        return self.adjust_uplink_id(
+            node.node_id, delta_up, delta_down, journal, enforce
+        )
+
+    def adjust_uplink_id(
+        self,
+        node_id: int,
+        delta_up: float,
+        delta_down: float,
+        journal: Journal,
+        enforce: bool = True,
+    ) -> bool:
         marks = self._mark()
         for window, ratio in enumerate(self._ratios):
-            ok = self.planes[window].adjust_uplink(
-                node,
+            ok = self.planes[window].adjust_uplink_id(
+                node_id,
                 delta_up * ratio,
                 delta_down * ratio,
                 self._plane_journals[window],
@@ -155,10 +192,13 @@ class TemporalLedger:
         return True
 
     def release_uplink(self, node: Node, up: float, down: float) -> None:
+        self.release_uplink_id(node.node_id, up, down)
+
+    def release_uplink_id(self, node_id: int, up: float, down: float) -> None:
         for window, ratio in enumerate(self._ratios):
             if up * ratio or down * ratio:
-                self.planes[window].release_uplink(
-                    node, up * ratio, down * ratio
+                self.planes[window].release_uplink_id(
+                    node_id, up * ratio, down * ratio
                 )
 
     def rollback(self, journal: Journal, savepoint: int = 0) -> None:

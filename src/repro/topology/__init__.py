@@ -7,12 +7,14 @@ from repro.topology.builder import (
     single_rack,
     three_level_tree,
 )
+from repro.topology.flat import FlatTopology
 from repro.topology.ledger import Journal, Ledger
 from repro.topology.tree import SERVER_LEVEL, Node, Topology, TopologyBuilder
 
 __all__ = [
     "SERVER_LEVEL",
     "DatacenterSpec",
+    "FlatTopology",
     "Journal",
     "Ledger",
     "Node",

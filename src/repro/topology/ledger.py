@@ -10,6 +10,15 @@ can be rolled back wholesale when it fails part-way (Algorithm 1's
 ``Dealloc``), and so a departing tenant can release exactly what it
 reserved.  Capacity violations are reported by returning ``False``;
 inconsistencies (releasing more than reserved) raise :class:`LedgerError`.
+
+State lives in flat id-indexed arrays mirroring
+:class:`repro.topology.flat.FlatTopology` (used slots, used up/down
+bandwidth, free slots per subtree), so capacity checks and rollbacks are
+plain list indexing rather than dict lookups, and the slot aggregates
+update by looping a precomputed ancestor id tuple.  Every Node-taking
+method has an ``*_id`` twin operating on raw node ids; the Node methods
+delegate, and hot inner loops (placement state, the placers) call the id
+forms directly with ids drawn from the flat topology's path arrays.
 """
 
 from __future__ import annotations
@@ -18,33 +27,32 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.core.constants import EPSILON
 from repro.errors import LedgerError
 from repro.topology.tree import Node, Topology
 
 __all__ = ["Ledger", "Journal"]
 
-# Tolerance for floating-point capacity comparisons (Mbps).
-_EPSILON = 1e-6
+# Tolerance for floating-point capacity comparisons (Mbps); the single
+# repo-wide value from repro.core.constants.
+_EPSILON = EPSILON
 
-
-@dataclass(frozen=True)
-class _SlotOp:
-    server_id: int
-    count: int
-
-
-@dataclass(frozen=True)
-class _BandwidthOp:
-    node_id: int
-    prev_up: float
-    prev_down: float
-    new_up: float
-    new_down: float
+# Journal op tags.  Ops are plain tuples — (tag, ...) — because placement
+# sweeps journal millions of mutations and dataclass construction was a
+# measurable share of trial runtime:
+#   (_OP_SLOTS, server_id, count)
+#   (_OP_BANDWIDTH, node_id, prev_up, prev_down)
+_OP_SLOTS = 0
+_OP_BANDWIDTH = 1
 
 
 @dataclass
 class Journal:
-    """An undo log of ledger mutations for one placement attempt."""
+    """An undo log of ledger mutations for one placement attempt.
+
+    Ops are opaque to callers; facades (e.g. the temporal ledger) may
+    append their own op records and interpret them in their rollback.
+    """
 
     ops: list[object] = field(default_factory=list)
 
@@ -57,20 +65,28 @@ class Ledger:
 
     def __init__(self, topology: Topology) -> None:
         self._topology = topology
-        self._used_slots: dict[int, int] = {s.node_id: 0 for s in topology.servers}
-        self._used_up: dict[int, float] = {}
-        self._used_down: dict[int, float] = {}
-        self._free_subtree: dict[int, int] = {}
+        flat = topology.flat
+        self.flat = flat
+        size = flat.size
+        self._used_slots = [0] * size
+        self._used_up = [0.0] * size
+        self._used_down = [0.0] * size
+        self._free_subtree = list(flat.subtree_slots)
         self._over: set[int] = set()
-        for node in topology.nodes:
-            if not node.is_root:
-                self._used_up[node.node_id] = 0.0
-                self._used_down[node.node_id] = 0.0
-        for server in topology.servers:
-            for node in topology.ancestors(server, include_self=True):
-                self._free_subtree[node.node_id] = (
-                    self._free_subtree.get(node.node_id, 0) + server.slots
-                )
+        self._root_id = flat.root_id
+        # Finite-capacity server uplinks, for the utilization metric: the
+        # capacity denominator is static, the usage numerator is summed
+        # per sample in the same (node-id) order the seed code used.
+        self._finite_server_ids = tuple(
+            i
+            for i in flat.server_order
+            if math.isfinite(flat.cap_up[i]) and i != self._root_id
+        )
+        capacity = 0.0
+        for node in topology.servers:
+            if math.isfinite(node.uplink_up):
+                capacity += node.uplink_up
+        self._finite_server_capacity = capacity
 
     @property
     def topology(self) -> Topology:
@@ -83,20 +99,32 @@ class Ledger:
         """Free VM slots in the subtree rooted at ``node``."""
         return self._free_subtree[node.node_id]
 
+    def free_slots_id(self, node_id: int) -> int:
+        return self._free_subtree[node_id]
+
     def used_slots(self, server: Node) -> int:
         return self._used_slots[server.node_id]
 
+    def used_slots_id(self, server_id: int) -> int:
+        return self._used_slots[server_id]
+
     def available_up(self, node: Node) -> float:
         """Unreserved uplink capacity toward the root."""
-        if node.is_root:
+        return self.available_up_id(node.node_id)
+
+    def available_up_id(self, node_id: int) -> float:
+        if node_id == self._root_id:
             return math.inf
-        return node.uplink_up - self._used_up[node.node_id]
+        return self.flat.cap_up[node_id] - self._used_up[node_id]
 
     def available_down(self, node: Node) -> float:
         """Unreserved uplink capacity toward the leaves."""
-        if node.is_root:
+        return self.available_down_id(node.node_id)
+
+    def available_down_id(self, node_id: int) -> float:
+        if node_id == self._root_id:
             return math.inf
-        return node.uplink_down - self._used_down[node.node_id]
+        return self.flat.cap_down[node_id] - self._used_down[node_id]
 
     def nominal_available_up(self, node: Node) -> float:
         """Unreserved *nominal* uplink capacity toward the root.
@@ -105,21 +133,29 @@ class Ledger:
         idealized unlimited topology (Table 1) it reflects the realistic
         capacity the placement heuristics should reason about.
         """
-        if node.is_root:
+        return self.nominal_available_up_id(node.node_id)
+
+    def nominal_available_up_id(self, node_id: int) -> float:
+        if node_id == self._root_id:
             return math.inf
-        return node.nominal_up - self._used_up[node.node_id]
+        return self.flat.nominal_up[node_id] - self._used_up[node_id]
 
     def nominal_available_down(self, node: Node) -> float:
         """Unreserved nominal uplink capacity toward the leaves."""
-        if node.is_root:
+        return self.nominal_available_down_id(node.node_id)
+
+    def nominal_available_down_id(self, node_id: int) -> float:
+        if node_id == self._root_id:
             return math.inf
-        return node.nominal_down - self._used_down[node.node_id]
+        return self.flat.nominal_down[node_id] - self._used_down[node_id]
 
     def reserved_up(self, node: Node) -> float:
-        return 0.0 if node.is_root else self._used_up[node.node_id]
+        node_id = node.node_id
+        return 0.0 if node_id == self._root_id else self._used_up[node_id]
 
     def reserved_down(self, node: Node) -> float:
-        return 0.0 if node.is_root else self._used_down[node.node_id]
+        node_id = node.node_id
+        return 0.0 if node_id == self._root_id else self._used_down[node_id]
 
     def reserved_at_level(self, level: int) -> float:
         """Total reserved uplink bandwidth (up direction) at one tree level.
@@ -127,8 +163,9 @@ class Ledger:
         This is the metric of Table 1: "bandwidth reserved on uplinks from
         the server / ToR / agg switch network levels".
         """
+        used_up = self._used_up
         return sum(
-            self._used_up[n.node_id]
+            used_up[n.node_id]
             for n in self._topology.level_nodes(level)
             if not n.is_root
         )
@@ -144,29 +181,46 @@ class Ledger:
                 self._used_down[node.node_id] / node.uplink_down,
             )
 
+    def server_bandwidth_fraction(self) -> float:
+        """Reserved fraction of finite server uplink capacity (up direction).
+
+        The utilization metric the cluster manager samples after every
+        admission; the static capacity denominator is precomputed.
+        """
+        capacity = self._finite_server_capacity
+        if not capacity:
+            return 0.0
+        used_up = self._used_up
+        used = 0.0
+        for node_id in self._finite_server_ids:
+            used += used_up[node_id]
+        return used / capacity
+
     # ------------------------------------------------------------------
     # mutations (journalled)
     # ------------------------------------------------------------------
     def reserve_slots(self, server: Node, count: int, journal: Journal) -> bool:
         """Reserve ``count`` VM slots on ``server``; False if over capacity."""
+        server_id = server.node_id
         if count <= 0:
             raise LedgerError(f"slot reservation must be positive, got {count}")
-        if self._used_slots[server.node_id] + count > server.slots:
+        if self._used_slots[server_id] + count > self.flat.slots[server_id]:
             return False
-        self._apply_slots(server, count)
-        journal.ops.append(_SlotOp(server.node_id, count))
+        self._apply_slots(server_id, count)
+        journal.ops.append((_OP_SLOTS, server_id, count))
         return True
 
     def release_slots(self, server: Node, count: int) -> None:
         """Release previously reserved slots (tenant departure path)."""
+        server_id = server.node_id
         if count <= 0:
             raise LedgerError(f"slot release must be positive, got {count}")
-        if self._used_slots[server.node_id] - count < 0:
+        if self._used_slots[server_id] - count < 0:
             raise LedgerError(
                 f"releasing {count} slots on {server.name!r} but only "
-                f"{self._used_slots[server.node_id]} reserved"
+                f"{self._used_slots[server_id]} reserved"
             )
-        self._apply_slots(server, -count)
+        self._apply_slots(server_id, -count)
 
     def adjust_uplink(
         self,
@@ -186,28 +240,46 @@ class Ledger:
         reserves per completed subtree, so transient mid-placement spikes
         must not reject a tenant that finally fits).
         """
-        if node.is_root:
+        return self.adjust_uplink_id(
+            node.node_id, delta_up, delta_down, journal, enforce
+        )
+
+    def adjust_uplink_id(
+        self,
+        node_id: int,
+        delta_up: float,
+        delta_down: float,
+        journal: Journal,
+        enforce: bool = True,
+    ) -> bool:
+        """Id-indexed :meth:`adjust_uplink` (the placement hot path)."""
+        if node_id == self._root_id:
             return True
-        prev_up = self._used_up[node.node_id]
-        prev_down = self._used_down[node.node_id]
+        used_up = self._used_up
+        used_down = self._used_down
+        prev_up = used_up[node_id]
+        prev_down = used_down[node_id]
         new_up = prev_up + delta_up
         new_down = prev_down + delta_down
         if new_up < -_EPSILON or new_down < -_EPSILON:
+            name = self.flat.node_of[node_id].name  # type: ignore[union-attr]
             raise LedgerError(
-                f"uplink reservation on {node.name!r} would become negative"
+                f"uplink reservation on {name!r} would become negative"
             )
+        flat = self.flat
         over = (
-            new_up > node.uplink_up + _EPSILON
-            or new_down > node.uplink_down + _EPSILON
+            new_up > flat.cap_up[node_id] + _EPSILON
+            or new_down > flat.cap_down[node_id] + _EPSILON
         )
         if enforce and over:
             return False
-        self._used_up[node.node_id] = max(0.0, new_up)
-        self._used_down[node.node_id] = max(0.0, new_down)
-        self._update_overcommit(node.node_id)
-        journal.ops.append(
-            _BandwidthOp(node.node_id, prev_up, prev_down, new_up, new_down)
-        )
+        used_up[node_id] = new_up if new_up > 0.0 else 0.0
+        used_down[node_id] = new_down if new_down > 0.0 else 0.0
+        if over:
+            self._over.add(node_id)
+        else:
+            self._over.discard(node_id)
+        journal.ops.append((_OP_BANDWIDTH, node_id, prev_up, prev_down))
         return True
 
     def has_overcommit(self) -> bool:
@@ -218,10 +290,9 @@ class Ledger:
         return frozenset(self._over)
 
     def _update_overcommit(self, node_id: int) -> None:
-        node = self._topology.node(node_id)
         over = (
-            self._used_up[node_id] > node.uplink_up + _EPSILON
-            or self._used_down[node_id] > node.uplink_down + _EPSILON
+            self._used_up[node_id] > self.flat.cap_up[node_id] + _EPSILON
+            or self._used_down[node_id] > self.flat.cap_down[node_id] + _EPSILON
         )
         if over:
             self._over.add(node_id)
@@ -230,36 +301,46 @@ class Ledger:
 
     def release_uplink(self, node: Node, up: float, down: float) -> None:
         """Release bandwidth without journalling (tenant departure path)."""
-        if node.is_root:
+        self.release_uplink_id(node.node_id, up, down)
+
+    def release_uplink_id(self, node_id: int, up: float, down: float) -> None:
+        if node_id == self._root_id:
             return
-        new_up = self._used_up[node.node_id] - up
-        new_down = self._used_down[node.node_id] - down
+        new_up = self._used_up[node_id] - up
+        new_down = self._used_down[node_id] - down
         if new_up < -_EPSILON or new_down < -_EPSILON:
+            name = self.flat.node_of[node_id].name  # type: ignore[union-attr]
             raise LedgerError(
-                f"releasing more bandwidth than reserved on {node.name!r}"
+                f"releasing more bandwidth than reserved on {name!r}"
             )
-        self._used_up[node.node_id] = max(0.0, new_up)
-        self._used_down[node.node_id] = max(0.0, new_down)
-        self._update_overcommit(node.node_id)
+        self._used_up[node_id] = new_up if new_up > 0.0 else 0.0
+        self._used_down[node_id] = new_down if new_down > 0.0 else 0.0
+        self._update_overcommit(node_id)
 
     # ------------------------------------------------------------------
     # rollback
     # ------------------------------------------------------------------
     def rollback(self, journal: Journal, savepoint: int = 0) -> None:
         """Undo journalled operations back to ``savepoint`` (in reverse)."""
-        while len(journal.ops) > savepoint:
-            op = journal.ops.pop()
-            if isinstance(op, _SlotOp):
-                self._apply_slots(self._topology.node(op.server_id), -op.count)
-            elif isinstance(op, _BandwidthOp):
-                self._used_up[op.node_id] = op.prev_up
-                self._used_down[op.node_id] = op.prev_down
-                self._update_overcommit(op.node_id)
+        ops = journal.ops
+        used_up = self._used_up
+        used_down = self._used_down
+        while len(ops) > savepoint:
+            op = ops.pop()
+            tag = op[0]
+            if tag == _OP_SLOTS:
+                self._apply_slots(op[1], -op[2])
+            elif tag == _OP_BANDWIDTH:
+                node_id = op[1]
+                used_up[node_id] = op[2]
+                used_down[node_id] = op[3]
+                self._update_overcommit(node_id)
             else:  # pragma: no cover - defensive
                 raise LedgerError(f"unknown journal op {op!r}")
 
     # ------------------------------------------------------------------
-    def _apply_slots(self, server: Node, count: int) -> None:
-        self._used_slots[server.node_id] += count
-        for node in self._topology.ancestors(server, include_self=True):
-            self._free_subtree[node.node_id] -= count
+    def _apply_slots(self, server_id: int, count: int) -> None:
+        self._used_slots[server_id] += count
+        free = self._free_subtree
+        for node_id in self.flat.ancestors[server_id]:
+            free[node_id] -= count

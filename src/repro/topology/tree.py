@@ -99,6 +99,7 @@ class Topology:
         self._by_id: dict[int, Node] = {}
         self._servers: list[Node] = []
         self._levels: dict[int, list[Node]] = {}
+        self._flat = None
         stack = [root]
         while stack:
             node = stack.pop()
@@ -121,12 +122,20 @@ class Topology:
                         )
                     stack.append(child)
         self._nodes = [self._by_id[i] for i in sorted(self._by_id)]
-        self._subtree_slots: dict[int, int] = {}
-        for server in self._servers:
-            for node in self.ancestors(server, include_self=True):
-                self._subtree_slots[node.node_id] = (
-                    self._subtree_slots.get(node.node_id, 0) + server.slots
-                )
+
+    @property
+    def flat(self) -> "FlatTopology":
+        """The id-indexed array view (built once, on first use).
+
+        Precomputed ancestors, root paths, server spans and subtree slot
+        totals; the ledger and the placers drive their inner loops off
+        these arrays instead of walking ``Node`` pointers.
+        """
+        if self._flat is None:
+            from repro.topology.flat import FlatTopology
+
+            self._flat = FlatTopology(self)
+        return self._flat
 
     @property
     def root(self) -> Node:
@@ -156,7 +165,7 @@ class Topology:
 
     def slots_under(self, node: Node) -> int:
         """Total VM slots (used or not) in the subtree under ``node``."""
-        return self._subtree_slots[node.node_id]
+        return self.flat.subtree_slots[node.node_id]
 
     def level_nodes(self, level: int) -> Sequence[Node]:
         """All nodes at a given level (0 = servers, root at the top)."""
@@ -172,14 +181,12 @@ class Topology:
             current = current.parent
 
     def servers_under(self, node: Node) -> Iterator[Node]:
-        """All servers in the subtree rooted at ``node``."""
-        stack = [node]
-        while stack:
-            current = stack.pop()
-            if current.is_server:
-                yield current
-            else:
-                stack.extend(current.children)
+        """All servers in the subtree rooted at ``node``.
+
+        Yields in the historical explicit-stack order (reversed
+        preorder); SecondNet's candidate scan tie-breaks on it.
+        """
+        return self.flat.iter_servers_under(node.node_id)
 
     def path_to_root(self, node: Node) -> list[Node]:
         """Nodes whose uplinks form the path ``node -> root`` (root excluded).
@@ -187,7 +194,9 @@ class Topology:
         The uplink of each returned node carries the tenant's traffic when
         its VMs sit below ``node`` and peers sit elsewhere.
         """
-        return [n for n in self.ancestors(node, include_self=True) if not n.is_root]
+        flat = self.flat
+        node_of = flat.node_of
+        return [node_of[i] for i in flat.path_up[node.node_id]]
 
     def describe(self) -> str:
         """A short human-readable summary used by examples and the CLI."""

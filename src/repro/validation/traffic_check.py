@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.constants import EPSILON
 from repro.core.tag import Tag
 from repro.errors import SimulationError
 from repro.topology.tree import Node
@@ -140,11 +141,14 @@ def link_loads(
 
 
 def validate_allocation(
-    allocation, *, samples: int = 5, seed: int = 0, tolerance: float = 1e-6
+    allocation, *, samples: int = 5, seed: int = 0, tolerance: float = EPSILON
 ) -> None:
     """Assert the allocation's reservations cover random admissible traffic.
 
     Raises ``AssertionError`` naming the first overloaded uplink.
+    ``tolerance`` defaults to the repo-wide capacity epsilon (so the
+    validator and the ledger agree on what "fits"); callers may widen it
+    per use.
     """
     index = VmIndex.from_allocation(allocation)
     if index.count == 0:

@@ -87,14 +87,32 @@ def test_louvain_at_least_as_good_as_singletons(case):
     assert quality >= singleton_quality - 1e-9
 
 
-@given(weighted_graphs(), st.integers(0, 100))
-@settings(max_examples=50, deadline=None)
-def test_louvain_beats_random_partitions(case, seed):
-    nodes, edges = case
-    if not edges:
-        return
+def test_louvain_beats_random_partitions_on_planted_structure():
+    """On a graph with planted communities, Louvain beats random labels.
+
+    Deliberately *not* a universal hypothesis property: greedy Louvain
+    only considers neighbouring communities during local moving, so on
+    adversarial graphs it can settle in a local optimum (e.g. merging a
+    path such as ``{(0,2): 2, (1,3): 3, (2,3): 4}`` into one block with
+    Q = 0) that a lucky random 3-partition edges out.  On graphs with
+    actual community structure — two dense cliques joined by one weak
+    bridge — the greedy optimum dominates random labellings by a wide,
+    deterministic margin.
+    """
+    edges: dict[tuple[int, int], float] = {}
+    for block in (range(0, 6), range(6, 12)):
+        members = list(block)
+        for a in range(len(members)):
+            for b in range(a + 1, len(members)):
+                edges[(members[a], members[b])] = 5.0
+    edges[(5, 6)] = 0.5  # weak bridge between the cliques
+    nodes = 12
     labels = louvain_communities(edges, nodes, seed=0)
     quality = modularity(edges, labels, nodes)
-    rng = random.Random(seed)
-    random_labels = [rng.randrange(3) for _ in range(nodes)]
-    assert modularity(edges, random_labels, nodes) <= quality + 1e-9
+    # The planted two-block partition is recovered (or matched).
+    planted = [0] * 6 + [1] * 6
+    assert quality >= modularity(edges, planted, nodes) - 1e-9
+    for seed in range(100):
+        rng = random.Random(seed)
+        random_labels = [rng.randrange(3) for _ in range(nodes)]
+        assert modularity(edges, random_labels, nodes) <= quality + 1e-9

@@ -1,0 +1,114 @@
+"""``repro results export`` — CSV/JSONL rows per stored trial."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import Engine, registry
+from repro.errors import ResultsError
+from repro.results import ResultStore, export_rows, export_store
+
+RUN_FLAGS = ["--pods", "1", "--arrivals", "30", "--loads", "0.4",
+             "--seeds", "0,1", "--jobs", "1"]
+
+
+@pytest.fixture
+def populated(tmp_path):
+    path = str(tmp_path / "runs.sqlite")
+    scenario = registry.get("fig08").scenario.override(
+        pods=1, arrivals=30, loads=(0.4,), seeds=(0, 1)
+    )
+    with ResultStore(path) as store:
+        Engine().run(scenario, store=store)
+    return path
+
+
+class TestExportStore:
+    def test_csv_round_trips_grid_and_metrics(self, populated):
+        with ResultStore(populated) as store:
+            text, count = export_store(store, "csv")
+            expected_rows = store.rows()
+        assert count == len(expected_rows) == 4
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert len(parsed) == 4
+        first = parsed[0]
+        assert first["scenario"] == "fig08"
+        assert first["kind"] == "rejection"
+        assert {row["variant"] for row in parsed} == {"cm", "ovoc"}
+        assert {row["seed"] for row in parsed} == {"0", "1"}
+        # Payload scalars are flattened as metric_* columns.
+        metric_columns = [c for c in parsed[0] if c.startswith("metric_")]
+        assert metric_columns, "expected flattened payload metrics"
+        for row in parsed:
+            for column in metric_columns:
+                float(row[column])  # parses as a number
+
+    def test_jsonl_rows_are_self_describing(self, populated):
+        with ResultStore(populated) as store:
+            text, count = export_store(store, "jsonl")
+        lines = text.strip().split("\n")
+        assert count == len(lines) == 4
+        for line in lines:
+            record = json.loads(line)
+            assert record["scenario"] == "fig08"
+            assert record["fingerprint"]
+            assert any(key.startswith("metric_") for key in record)
+
+    def test_scenario_filter(self, populated):
+        with ResultStore(populated) as store:
+            _, count = export_store(store, "csv", scenario="fig08")
+            _, none = export_store(store, "csv", scenario="other")
+        assert count == 4 and none == 0
+
+    def test_deterministic_output(self, populated):
+        with ResultStore(populated) as store:
+            first, _ = export_store(store, "csv")
+            second, _ = export_store(store, "csv")
+        assert first == second
+
+    def test_unknown_format_rejected(self, populated):
+        with ResultStore(populated) as store:
+            with pytest.raises(ResultsError):
+                export_store(store, "parquet")
+
+    def test_empty_rows_export(self):
+        assert export_rows([], "jsonl") == ""
+        header = export_rows([], "csv").strip().split(",")
+        assert "fingerprint" in header
+
+
+class TestExportCli:
+    def test_export_to_stdout(self, capsys, populated):
+        assert main(["results", "export", populated, "--format", "jsonl"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().split("\n")) == 4
+
+    def test_export_to_file(self, capsys, tmp_path, populated):
+        dest = tmp_path / "trials.csv"
+        assert main(
+            ["results", "export", populated, "-o", str(dest)]
+        ) == 0
+        assert "wrote 4 rows" in capsys.readouterr().out
+        parsed = list(csv.DictReader(io.StringIO(dest.read_text())))
+        assert len(parsed) == 4
+
+    def test_export_filter_without_matches_fails(self, capsys, populated):
+        assert (
+            main(["results", "export", populated, "--scenario", "nope"]) == 1
+        )
+        captured = capsys.readouterr()
+        # the notice is a diagnostic: stderr, so a piped stdout stays
+        # a clean (empty) data stream
+        assert "no stored results" in captured.err
+        assert captured.out == ""
+
+    def test_export_missing_store_reports_cleanly(self, capsys, tmp_path):
+        missing = str(tmp_path / "absent.sqlite")
+        assert main(["results", "export", missing]) == 1
+        out = capsys.readouterr().out
+        assert "error:" in out and "Traceback" not in out
