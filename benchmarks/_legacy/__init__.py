@@ -7,7 +7,13 @@ walks that the flat array-backed core replaced.  Only the imports were
 rewired so the snapshot composes with itself instead of the live
 modules.
 
-Used exclusively by ``benchmarks/test_bench_placement_core.py`` to
-measure the refactor's speedup on identical inputs.  Never imported by
-the library.
+PR 5 adds four more snapshots, frozen just before the planes-on-arrays
+rebuild for ``benchmarks/test_bench_temporal_enforcement.py``:
+``maxmin.py`` (the scalar dict-based water-filling kernel),
+``elasticswitch.py`` (the FlowSpec/dict-building enforcement model),
+``dynamics.py`` (the per-period problem-rebuilding control loop) and
+``temporal_admission.py`` (the W-Ledger-planes temporal facade).
+
+Used exclusively by the before/after benchmarks to measure each
+refactor's speedup on identical inputs.  Never imported by the library.
 """

@@ -1,4 +1,6 @@
-"""Time-stepped ElasticSwitch dynamics (§5.2 substrate, beyond steady state).
+"""Frozen pre-PR-5 snapshot (the per-period problem-rebuilding control loop); benchmarks only.
+
+Time-stepped ElasticSwitch dynamics (§5.2 substrate, beyond steady state).
 
 The static model in :mod:`repro.enforcement.elasticswitch` computes the
 fixed point directly.  The real ElasticSwitch is a distributed control
@@ -35,15 +37,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
 from repro.core.tag import Tag
-from repro.enforcement.elasticswitch import (
-    EnforcementProblem,
-    PairFlow,
-    build_enforcement_problem,
-    solve_enforcement,
-)
+from _legacy.elasticswitch import PairFlow, enforce
 from repro.errors import EnforcementError
 
 __all__ = ["DynamicsConfig", "PeriodSample", "ElasticSwitchDynamics"]
@@ -102,10 +97,6 @@ class ElasticSwitchDynamics:
         self.flows: list[PairFlow] = []
         self._limits: list[float] = []
         self._period = 0
-        # The interned incidence is rebuilt lazily whenever the flow set
-        # changes; between changes every period's GP pass and transmit
-        # model reuse the same arrays.
-        self._problem: EnforcementProblem | None = None
 
     # ------------------------------------------------------------------
     def add_flow(self, flow: PairFlow) -> None:
@@ -115,23 +106,10 @@ class ElasticSwitchDynamics:
                 raise EnforcementError(f"flow references unknown link {link!r}")
         self.flows.append(flow)
         self._limits.append(0.0)  # bootstrapped to the guarantee next period
-        self._problem = None
 
     def remove_flow(self, index: int) -> None:
         del self.flows[index]
         del self._limits[index]
-        self._problem = None
-
-    def _ensure_problem(self) -> EnforcementProblem:
-        if self._problem is None:
-            self._problem = build_enforcement_problem(
-                self.tag,
-                self.flows,
-                self.capacities,
-                mode=self.mode,
-                headroom=self.config.headroom,
-            )
-        return self._problem
 
     # ------------------------------------------------------------------
     def step(self) -> PeriodSample:
@@ -182,10 +160,23 @@ class ElasticSwitchDynamics:
     # ------------------------------------------------------------------
     def steady_state(self):
         """The static fixed point (for convergence assertions)."""
-        return solve_enforcement(self._ensure_problem())
+        return enforce(
+            self.tag,
+            self.flows,
+            self.capacities,
+            mode=self.mode,
+            headroom=self.config.headroom,
+        )
 
     def _partition_guarantees(self) -> list[float]:
-        return list(solve_enforcement(self._ensure_problem()).guarantees)
+        result = enforce(
+            self.tag,
+            self.flows,
+            self.capacities,
+            mode=self.mode,
+            headroom=self.config.headroom,
+        )
+        return list(result.guarantees)
 
     def _transmit(
         self, limits: Sequence[float]
@@ -196,25 +187,23 @@ class ElasticSwitchDynamics:
         every crossing flow in proportion to its sending rate (a shared
         FIFO queue); a flow's throughput is its limit scaled by the worst
         link on its path, and any scaling at all is the congestion signal
-        the control loop reacts to.  Runs on the cached problem's
-        physical entry arrays: one weighted bincount computes the
-        offered load, one masked divide the per-link scale factors.
+        the control loop reacts to.
         """
-        problem = self._ensure_problem()
-        sending = np.minimum(np.asarray(limits, dtype=np.float64), problem.demands)
-        capacities = problem.phys_capacities
-        offered = np.bincount(
-            problem.phys_entry_link,
-            weights=sending[problem.phys_entry_flow],
-            minlength=len(capacities),
-        )
-        congested_links = ~np.isinf(capacities) & (offered > capacities)
-        scale = np.ones(len(capacities))
-        np.divide(capacities, offered, out=scale, where=congested_links)
+        offered: dict[object, float] = {link: 0.0 for link in self.capacities}
+        for flow, limit in zip(self.flows, limits):
+            for link in flow.links:
+                offered[link] += min(limit, flow.demand)
+        scale: dict[object, float] = {}
+        for link, capacity in self.capacities.items():
+            if math.isinf(capacity) or offered[link] <= capacity:
+                scale[link] = 1.0
+            else:
+                scale[link] = capacity / offered[link]
         rates: list[float] = []
         congested: list[bool] = []
-        for send, phys_row in zip(sending, problem.flow_phys_ids):
-            factor = min((scale[p] for p in phys_row), default=1.0)
-            rates.append(float(send * factor))
+        for flow, limit in zip(self.flows, limits):
+            sending = min(limit, flow.demand)
+            factor = min((scale[link] for link in flow.links), default=1.0)
+            rates.append(sending * factor)
             congested.append(factor < 1.0 - 1e-12)
         return rates, congested

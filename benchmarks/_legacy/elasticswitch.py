@@ -1,0 +1,145 @@
+"""Frozen pre-PR-5 snapshot (the FlowSpec/dict-building ElasticSwitch model); benchmarks only.
+
+ElasticSwitch-style guarantee enforcement, hose-mode and TAG-mode (§5.2).
+
+ElasticSwitch [7] enforces hose-model guarantees with two layers:
+
+* **Guarantee Partitioning (GP)** — each VM's hose guarantee is divided
+  among its currently-active communication pairs, max-min fairly.  We
+  model GP exactly as max-min over *virtual guarantee links*: each VM
+  contributes a send-hose link (capacity = send guarantee) and a
+  receive-hose link (capacity = receive guarantee), and a pair's
+  guarantee is its max-min rate through both endpoints' hoses.
+
+* **Rate Allocation (RA, work conservation)** — pairs may exceed their
+  guarantees when spare capacity exists.  We model the steady state as
+  guarantee rates plus a max-min division of the residual physical
+  capacity (TCP-like greedy flows).
+
+The TAG patch (§5.2, "30 lines of code") changes only which virtual hose
+a pair belongs to: in TAG mode every TAG edge gets its *own* per-VM
+send/receive hoses, so intra-tier C2 traffic cannot crowd out the C1->C2
+trunk guarantee — the whole point of Fig. 13.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.tag import Tag
+from _legacy.maxmin import FlowSpec, maxmin_rates
+from repro.errors import EnforcementError
+
+__all__ = ["PairFlow", "EnforcementResult", "enforce"]
+
+
+@dataclass(frozen=True)
+class PairFlow:
+    """An active VM pair: tier names, VM indices, physical links crossed.
+
+    ``demand`` models the sending application's offered load (TCP flows
+    offer infinite demand).
+    """
+
+    src_tier: str
+    src_index: int
+    dst_tier: str
+    dst_index: int
+    links: tuple[object, ...]
+    demand: float = math.inf
+
+    @property
+    def src_vm(self) -> tuple[str, int]:
+        return (self.src_tier, self.src_index)
+
+    @property
+    def dst_vm(self) -> tuple[str, int]:
+        return (self.dst_tier, self.dst_index)
+
+
+@dataclass(frozen=True)
+class EnforcementResult:
+    """Per-flow guarantees and final (work-conserving) throughputs."""
+
+    guarantees: tuple[float, ...]
+    rates: tuple[float, ...]
+
+
+def enforce(
+    tag: Tag,
+    flows: Sequence[PairFlow],
+    capacities: dict[object, float],
+    *,
+    mode: str = "tag",
+    headroom: float = 0.1,
+) -> EnforcementResult:
+    """Compute guarantee partitions and work-conserving rates.
+
+    ``mode='tag'`` partitions per TAG edge (the paper's patch);
+    ``mode='hose'`` collapses each VM's guarantees into a single hose
+    (the baseline that fails in Fig. 4 / Fig. 13).  ``headroom`` is the
+    fraction of each physical link left unreserved by admission control
+    (§5.2 leaves 10%); it bounds the guarantee phase, not work
+    conservation.
+    """
+    if mode not in ("tag", "hose"):
+        raise EnforcementError(f"mode must be 'tag' or 'hose', got {mode!r}")
+    if not 0 <= headroom < 1:
+        raise EnforcementError(f"headroom must be in [0, 1), got {headroom!r}")
+    guarantee_flows = []
+    virtual_capacities: dict[object, float] = {}
+    for flow in flows:
+        if flow.src_tier == flow.dst_tier:
+            edge = tag.self_loop(flow.src_tier)
+        else:
+            edge = tag.edge(flow.src_tier, flow.dst_tier)
+        if edge is None:
+            raise EnforcementError(
+                f"no TAG guarantee covers flow {flow.src_vm} -> {flow.dst_vm}"
+            )
+        if mode == "tag":
+            send_link = ("snd", flow.src_vm, edge.src, edge.dst)
+            recv_link = ("rcv", flow.dst_vm, edge.src, edge.dst)
+            virtual_capacities[send_link] = edge.send
+            virtual_capacities[recv_link] = edge.recv
+        else:
+            send_link = ("snd", flow.src_vm)
+            recv_link = ("rcv", flow.dst_vm)
+            out, _ = tag.per_vm_demand(flow.src_tier)
+            _, into = tag.per_vm_demand(flow.dst_tier)
+            virtual_capacities[send_link] = out
+            virtual_capacities[recv_link] = into
+        # The guarantee phase is additionally bounded by the reserved
+        # share of the physical links the flow crosses.
+        physical = tuple(("phys-gp", link) for link in flow.links)
+        for link in flow.links:
+            virtual_capacities[("phys-gp", link)] = capacities[link] * (
+                1.0 - headroom
+            )
+        guarantee_flows.append(
+            FlowSpec(
+                links=(send_link, recv_link) + physical, limit=flow.demand
+            )
+        )
+    guarantees = maxmin_rates(guarantee_flows, virtual_capacities)
+
+    # Work conservation: divide residual physical capacity max-min among
+    # flows that still have demand beyond their guarantee.
+    residual = dict(capacities)
+    for flow, guarantee in zip(flows, guarantees):
+        for link in flow.links:
+            residual[link] -= guarantee
+    for link in residual:
+        residual[link] = max(0.0, residual[link])
+    extra_flows = [
+        FlowSpec(
+            links=tuple(flow.links),
+            limit=max(0.0, flow.demand - guarantee),
+        )
+        for flow, guarantee in zip(flows, guarantees)
+    ]
+    extras = maxmin_rates(extra_flows, residual)
+    rates = tuple(g + e for g, e in zip(guarantees, extras))
+    return EnforcementResult(guarantees=tuple(guarantees), rates=rates)

@@ -1,0 +1,96 @@
+"""Frozen pre-PR-5 scalar max-min kernel (before/after benchmarks only).
+
+Verbatim snapshot of ``repro/enforcement/maxmin.py`` as it stood before
+the vectorized progressive-filling rebuild: per-round dict-based link
+incidence, Python-set freezing.  Used by
+``benchmarks/test_bench_temporal_enforcement.py`` to measure the
+refactor's speedup and assert bit-identical rates on identical inputs.
+Never imported by the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence
+
+from repro.core.constants import CONVERGENCE_EPSILON
+from repro.errors import EnforcementError
+
+__all__ = ["FlowSpec", "maxmin_rates"]
+
+LinkId = Hashable
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow: the links it crosses, and an optional demand/rate limit."""
+
+    links: tuple[LinkId, ...]
+    limit: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.limit < 0:
+            raise EnforcementError(f"flow limit must be >= 0, got {self.limit}")
+
+
+def maxmin_rates(
+    flows: Sequence[FlowSpec], capacities: dict[LinkId, float]
+) -> list[float]:
+    """Max-min fair rates for ``flows`` over ``capacities``.
+
+    Progressive filling: raise all unfrozen flows together; at each step
+    the binding constraint is either a link reaching capacity (freezing
+    every flow crossing it) or a flow reaching its limit.
+    """
+    for flow in flows:
+        for link in flow.links:
+            if link not in capacities:
+                raise EnforcementError(f"flow references unknown link {link!r}")
+    for link, capacity in capacities.items():
+        if capacity < 0:
+            raise EnforcementError(f"negative capacity on link {link!r}")
+
+    rates = [0.0] * len(flows)
+    residual = dict(capacities)
+    # A flow crossing no links is only bounded by its own (finite) demand.
+    for index, flow in enumerate(flows):
+        if not flow.links and math.isfinite(flow.limit):
+            rates[index] = flow.limit
+    active = {i for i, f in enumerate(flows) if f.limit > 0.0 and f.links}
+
+    while active:
+        # Smallest increment that freezes something.
+        link_users: dict[LinkId, int] = {}
+        for index in active:
+            for link in flows[index].links:
+                link_users[link] = link_users.get(link, 0) + 1
+        increment = math.inf
+        for link, users in link_users.items():
+            if users:
+                increment = min(increment, residual[link] / users)
+        for index in active:
+            increment = min(increment, flows[index].limit - rates[index])
+        if math.isinf(increment):
+            # No finite constraint: flows are unbounded; treat as an error
+            # because enforcement always runs on finite bottlenecks.
+            raise EnforcementError("max-min with unbounded flows and links")
+        increment = max(0.0, increment)
+        for index in active:
+            rates[index] += increment
+        for link in link_users:
+            residual[link] -= increment * link_users[link]
+        frozen: set[int] = set()
+        for link, users in link_users.items():
+            if residual[link] <= CONVERGENCE_EPSILON:
+                for index in active:
+                    if link in flows[index].links:
+                        frozen.add(index)
+        for index in active:
+            if flows[index].limit - rates[index] <= CONVERGENCE_EPSILON:
+                frozen.add(index)
+        if not frozen:
+            # Numerical stall; freeze everything to terminate.
+            frozen = set(active)
+        active -= frozen
+    return rates

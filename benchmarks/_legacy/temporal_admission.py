@@ -1,0 +1,266 @@
+"""Frozen pre-PR-5 temporal ledger (before/after benchmarks only).
+
+Verbatim snapshot of ``repro/temporal/admission.py`` as it stood before
+the planes-on-arrays rebuild: W full :class:`repro.topology.ledger.Ledger`
+planes multiplexed by a Python loop, one :class:`Journal` per plane, and
+worst-case availability computed with a generator expression per query.
+Used by ``benchmarks/test_bench_temporal_enforcement.py`` to measure the
+refactor's speedup and assert identical admission decisions on identical
+tenant streams.  Never imported by the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import LedgerError, SimulationError
+from repro.placement.base import Placement, Rejection
+from repro.placement.cloudmirror import CloudMirrorPlacer
+from repro.temporal.profile import TemporalProfile, TemporalTag
+from repro.topology.builder import DatacenterSpec, three_level_tree
+from repro.topology.ledger import Journal, Ledger
+from repro.topology.tree import Node, Topology
+
+__all__ = [
+    "TemporalLedger",
+    "TemporalAdmission",
+    "TemporalCluster",
+    "peak_equivalent",
+]
+
+
+@dataclass(frozen=True)
+class _MultiOp:
+    """One composite mutation: per-plane journal savepoints before it."""
+
+    plane_marks: tuple[int, ...]
+
+
+class TemporalLedger:
+    """A Ledger facade multiplexing W per-window bandwidth planes.
+
+    Duck-types the :class:`repro.topology.ledger.Ledger` surface the
+    placement machinery uses.  Slots are global (plane 0 owns them);
+    bandwidth deltas apply to every plane scaled by the *active ratios*
+    (the current tenant's per-window fraction of its peak), which the
+    caller must set via :meth:`set_ratios` before placing or releasing a
+    tenant — reservations are plane-scaled per tenant, so release must
+    run under the same ratios as the original placement.
+    """
+
+    def __init__(self, topology: Topology, windows: int) -> None:
+        if windows < 1:
+            raise SimulationError("need at least one time window")
+        self.topology = topology
+        # The flat array view the placement machinery drives its path
+        # walks from (shared by every plane; structure is per-topology).
+        self.flat = topology.flat
+        self.windows = windows
+        self.planes = [Ledger(topology) for _ in range(windows)]
+        self._plane_journals = [Journal() for _ in range(windows)]
+        self._ratios: tuple[float, ...] = tuple([1.0] * windows)
+
+    # ------------------------------------------------------------------
+    def set_ratios(self, profile: TemporalProfile) -> None:
+        """Activate one tenant's window-to-peak ratios."""
+        if profile.windows != self.windows:
+            raise SimulationError(
+                f"profile has {profile.windows} windows, ledger has "
+                f"{self.windows}"
+            )
+        peak = profile.peak
+        if peak <= 0:
+            raise SimulationError("profile peak must be positive")
+        self._ratios = tuple(factor / peak for factor in profile.factors)
+
+    def _mark(self) -> tuple[int, ...]:
+        return tuple(journal.savepoint() for journal in self._plane_journals)
+
+    # ------------------------------------------------------------------
+    # Ledger surface used by placement
+    # ------------------------------------------------------------------
+    def free_slots(self, node: Node) -> int:
+        return self.planes[0].free_slots(node)
+
+    def free_slots_id(self, node_id: int) -> int:
+        return self.planes[0].free_slots_id(node_id)
+
+    def used_slots(self, server: Node) -> int:
+        return self.planes[0].used_slots(server)
+
+    def used_slots_id(self, server_id: int) -> int:
+        return self.planes[0].used_slots_id(server_id)
+
+    def available_up(self, node: Node) -> float:
+        return min(plane.available_up(node) for plane in self.planes)
+
+    def available_up_id(self, node_id: int) -> float:
+        return min(plane.available_up_id(node_id) for plane in self.planes)
+
+    def available_down(self, node: Node) -> float:
+        return min(plane.available_down(node) for plane in self.planes)
+
+    def available_down_id(self, node_id: int) -> float:
+        return min(plane.available_down_id(node_id) for plane in self.planes)
+
+    def nominal_available_up(self, node: Node) -> float:
+        return min(plane.nominal_available_up(node) for plane in self.planes)
+
+    def nominal_available_up_id(self, node_id: int) -> float:
+        return min(
+            plane.nominal_available_up_id(node_id) for plane in self.planes
+        )
+
+    def nominal_available_down(self, node: Node) -> float:
+        return min(plane.nominal_available_down(node) for plane in self.planes)
+
+    def nominal_available_down_id(self, node_id: int) -> float:
+        return min(
+            plane.nominal_available_down_id(node_id) for plane in self.planes
+        )
+
+    def reserved_up(self, node: Node) -> float:
+        return max(plane.reserved_up(node) for plane in self.planes)
+
+    def reserved_down(self, node: Node) -> float:
+        return max(plane.reserved_down(node) for plane in self.planes)
+
+    def reserved_at_level(self, level: int) -> float:
+        return max(plane.reserved_at_level(level) for plane in self.planes)
+
+    def has_overcommit(self) -> bool:
+        return any(plane.has_overcommit() for plane in self.planes)
+
+    def reserve_slots(self, server: Node, count: int, journal: Journal) -> bool:
+        marks = self._mark()
+        if not self.planes[0].reserve_slots(
+            server, count, self._plane_journals[0]
+        ):
+            return False
+        journal.ops.append(_MultiOp(marks))
+        return True
+
+    def release_slots(self, server: Node, count: int) -> None:
+        self.planes[0].release_slots(server, count)
+
+    def adjust_uplink(
+        self,
+        node: Node,
+        delta_up: float,
+        delta_down: float,
+        journal: Journal,
+        enforce: bool = True,
+    ) -> bool:
+        return self.adjust_uplink_id(
+            node.node_id, delta_up, delta_down, journal, enforce
+        )
+
+    def adjust_uplink_id(
+        self,
+        node_id: int,
+        delta_up: float,
+        delta_down: float,
+        journal: Journal,
+        enforce: bool = True,
+    ) -> bool:
+        marks = self._mark()
+        for window, ratio in enumerate(self._ratios):
+            ok = self.planes[window].adjust_uplink_id(
+                node_id,
+                delta_up * ratio,
+                delta_down * ratio,
+                self._plane_journals[window],
+                enforce=enforce,
+            )
+            if not ok:
+                for done in range(window):
+                    self.planes[done].rollback(
+                        self._plane_journals[done], marks[done]
+                    )
+                return False
+        journal.ops.append(_MultiOp(marks))
+        return True
+
+    def release_uplink(self, node: Node, up: float, down: float) -> None:
+        self.release_uplink_id(node.node_id, up, down)
+
+    def release_uplink_id(self, node_id: int, up: float, down: float) -> None:
+        for window, ratio in enumerate(self._ratios):
+            if up * ratio or down * ratio:
+                self.planes[window].release_uplink_id(
+                    node_id, up * ratio, down * ratio
+                )
+
+    def rollback(self, journal: Journal, savepoint: int = 0) -> None:
+        if len(journal.ops) <= savepoint:
+            return
+        first = journal.ops[savepoint]
+        if not isinstance(first, _MultiOp):  # pragma: no cover - defensive
+            raise LedgerError("foreign ops in a temporal journal")
+        for window, mark in enumerate(first.plane_marks):
+            self.planes[window].rollback(self._plane_journals[window], mark)
+        del journal.ops[savepoint:]
+
+
+@dataclass
+class TemporalAdmission:
+    """A live window-aware tenant."""
+
+    tenant: TemporalTag
+    allocation: object
+
+
+class TemporalCluster:
+    """CloudMirror admission over W per-window bandwidth planes."""
+
+    def __init__(self, spec: DatacenterSpec, windows: int) -> None:
+        self.spec = spec
+        self.windows = windows
+        self.topology: Topology = three_level_tree(spec)
+        self.ledger = TemporalLedger(self.topology, windows)
+        self.placer = CloudMirrorPlacer(self.ledger)  # type: ignore[arg-type]
+        self.admitted: list[TemporalAdmission] = []
+        self.rejected = 0
+
+    def admit(self, tenant: TemporalTag) -> TemporalAdmission | None:
+        """Place one time-varying tenant; None when any window overflows."""
+        if tenant.profile.windows != self.windows:
+            raise SimulationError(
+                f"tenant has {tenant.profile.windows} windows, cluster has "
+                f"{self.windows}"
+            )
+        self.ledger.set_ratios(tenant.profile)
+        result = self.placer.place(tenant.peak_tag())
+        if isinstance(result, Rejection):
+            self.rejected += 1
+            return None
+        assert isinstance(result, Placement)
+        admission = TemporalAdmission(tenant, result.allocation)
+        self.admitted.append(admission)
+        return admission
+
+    def depart(self, admission: TemporalAdmission) -> None:
+        # Release must run under the departing tenant's own ratios: its
+        # plane reservations were scaled by them at placement time.
+        self.ledger.set_ratios(admission.tenant.profile)
+        admission.allocation.release()
+        self.admitted.remove(admission)
+
+    # ------------------------------------------------------------------
+    def window_utilization(self, window: int, level: int) -> float:
+        """Reserved fraction of one level's aggregate capacity, one window."""
+        plane = self.ledger.planes[window]
+        nodes = [n for n in self.topology.level_nodes(level) if not n.is_root]
+        capacity = sum(n.uplink_up for n in nodes)
+        if capacity == 0 or math.isinf(capacity):
+            return 0.0
+        return sum(plane.reserved_up(n) for n in nodes) / capacity
+
+
+def peak_equivalent(tenant: TemporalTag) -> TemporalTag:
+    """The time-unaware version of a tenant (peak in every window)."""
+    return TemporalTag(
+        tenant.base,
+        TemporalProfile.flat(tenant.profile.windows, tenant.profile.peak),
+    )

@@ -5,8 +5,20 @@ from repro.enforcement.dynamics import (
     ElasticSwitchDynamics,
     PeriodSample,
 )
-from repro.enforcement.elasticswitch import EnforcementResult, PairFlow, enforce
-from repro.enforcement.maxmin import FlowSpec, maxmin_rates
+from repro.enforcement.elasticswitch import (
+    EnforcementProblem,
+    EnforcementResult,
+    PairFlow,
+    build_enforcement_problem,
+    enforce,
+    solve_enforcement,
+)
+from repro.enforcement.maxmin import (
+    FlowSpec,
+    MaxMinProblem,
+    maxmin_rates,
+    solve_maxmin,
+)
 from repro.enforcement.scenarios import (
     Fig13Point,
     Fig4Outcome,
@@ -17,14 +29,19 @@ from repro.enforcement.scenarios import (
 __all__ = [
     "DynamicsConfig",
     "ElasticSwitchDynamics",
+    "EnforcementProblem",
     "EnforcementResult",
     "Fig13Point",
     "Fig4Outcome",
     "FlowSpec",
+    "MaxMinProblem",
     "PairFlow",
     "PeriodSample",
+    "build_enforcement_problem",
     "enforce",
     "fig4_scenario",
     "fig13_scenario",
     "maxmin_rates",
+    "solve_enforcement",
+    "solve_maxmin",
 ]

@@ -18,6 +18,13 @@ The TAG patch (§5.2, "30 lines of code") changes only which virtual hose
 a pair belongs to: in TAG mode every TAG edge gets its *own* per-VM
 send/receive hoses, so intra-tier C2 traffic cannot crowd out the C1->C2
 trunk guarantee — the whole point of Fig. 13.
+
+Both phases run on the vectorized :mod:`repro.enforcement.maxmin`
+kernel.  :func:`build_enforcement_problem` interns the virtual hoses and
+physical links into dense integer ids exactly once, producing an
+:class:`EnforcementProblem` whose incidence matrices both max-min passes
+(and the dynamics control loop's transmit model) reuse — no per-call
+link-tuple hashing.
 """
 
 from __future__ import annotations
@@ -26,11 +33,20 @@ import math
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.tag import Tag
-from repro.enforcement.maxmin import FlowSpec, maxmin_rates
+from repro.enforcement.maxmin import MaxMinProblem, solve_maxmin
 from repro.errors import EnforcementError
 
-__all__ = ["PairFlow", "EnforcementResult", "enforce"]
+__all__ = [
+    "EnforcementProblem",
+    "EnforcementResult",
+    "PairFlow",
+    "build_enforcement_problem",
+    "enforce",
+    "solve_enforcement",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +81,168 @@ class EnforcementResult:
     rates: tuple[float, ...]
 
 
+@dataclass(frozen=True)
+class EnforcementProblem:
+    """One flow set's pre-indexed GP + RA structure.
+
+    ``guarantee`` bounds each flow by its virtual send/receive hoses and
+    the reserved share of the physical links it crosses; the physical
+    entry arrays (one entry per crossing, CSR-style) drive work
+    conservation and the dynamics transmit model.  ``flow_phys_ids``
+    keeps each flow's physical link ids in crossing order so the
+    residual subtraction replays the scalar arithmetic exactly
+    (bit-identical Fig. 13 payloads).
+    """
+
+    guarantee: MaxMinProblem
+    phys_entry_flow: np.ndarray
+    phys_entry_link: np.ndarray
+    phys_capacities: np.ndarray
+    demands: np.ndarray
+    flow_phys_ids: tuple[tuple[int, ...], ...]
+
+
+def build_enforcement_problem(
+    tag: Tag,
+    flows: Sequence[PairFlow],
+    capacities: dict[object, float],
+    *,
+    mode: str = "tag",
+    headroom: float = 0.1,
+) -> EnforcementProblem:
+    """Intern one flow set's virtual hoses + physical links to dense ids."""
+    if mode not in ("tag", "hose"):
+        raise EnforcementError(f"mode must be 'tag' or 'hose', got {mode!r}")
+    if not 0 <= headroom < 1:
+        raise EnforcementError(f"headroom must be in [0, 1), got {headroom!r}")
+    virtual_index: dict[object, int] = {}
+    virtual_caps: list[float] = []
+    phys_index: dict[object, int] = {}
+    phys_caps: list[float] = []
+    # The guarantee incidence and the physical incidence are emitted
+    # directly as CSR entry pairs; intermediate per-flow rows exist only
+    # as the small reusable locals below.
+    g_entry_flow: list[int] = []
+    g_entry_link: list[int] = []
+    phys_entry_flow: list[int] = []
+    phys_entry_link: list[int] = []
+    flow_phys_ids: list[tuple[int, ...]] = []
+    # Flows overwhelmingly share tier pairs (Fig. 13 has hundreds of
+    # C2->C2 senders), so edge lookups and hose demands memoize per
+    # tier pair / tier instead of resolving per flow.
+    edge_cache: dict[tuple[str, str], object] = {}
+    hose_cache: dict[str, tuple[float, float]] = {}
+
+    for flow_index, flow in enumerate(flows):
+        if flow.demand < 0:
+            raise EnforcementError(
+                f"flow limit must be >= 0, got {flow.demand}"
+            )
+        src_tier = flow.src_tier
+        dst_tier = flow.dst_tier
+        tier_pair = (src_tier, dst_tier)
+        edge = edge_cache.get(tier_pair)
+        if edge is None:
+            if src_tier == dst_tier:
+                edge = tag.self_loop(src_tier)
+            else:
+                edge = tag.edge(src_tier, dst_tier)
+            if edge is None:
+                raise EnforcementError(
+                    f"no TAG guarantee covers flow {flow.src_vm} -> "
+                    f"{flow.dst_vm}"
+                )
+            edge_cache[tier_pair] = edge
+        if mode == "tag":
+            send_key = ("snd", src_tier, flow.src_index, edge.src, edge.dst)
+            recv_key = ("rcv", dst_tier, flow.dst_index, edge.src, edge.dst)
+            send_cap = edge.send
+            recv_cap = edge.recv
+        else:
+            send_hose = hose_cache.get(src_tier)
+            if send_hose is None:
+                send_hose = hose_cache[src_tier] = tag.per_vm_demand(src_tier)
+            recv_hose = hose_cache.get(dst_tier)
+            if recv_hose is None:
+                recv_hose = hose_cache[dst_tier] = tag.per_vm_demand(dst_tier)
+            send_key = ("snd", src_tier, flow.src_index)
+            recv_key = ("rcv", dst_tier, flow.dst_index)
+            send_cap = send_hose[0]
+            recv_cap = recv_hose[1]
+        send = virtual_index.get(send_key)
+        if send is None:
+            send = virtual_index[send_key] = len(virtual_caps)
+            virtual_caps.append(send_cap)
+        recv = virtual_index.get(recv_key)
+        if recv is None:
+            recv = virtual_index[recv_key] = len(virtual_caps)
+            virtual_caps.append(recv_cap)
+        g_entry_flow.append(flow_index)
+        g_entry_link.append(send)
+        g_entry_flow.append(flow_index)
+        g_entry_link.append(recv)
+        # The guarantee phase is additionally bounded by the reserved
+        # share of the physical links the flow crosses.
+        phys_row: list[int] = []
+        for link in flow.links:
+            phys_id = phys_index.get(link)
+            if phys_id is None:
+                phys_id = phys_index[link] = len(phys_caps)
+                phys_caps.append(capacities[link])
+                virtual_index[("phys-gp", link)] = len(virtual_caps)
+                virtual_caps.append(capacities[link] * (1.0 - headroom))
+            phys_row.append(phys_id)
+            g_entry_flow.append(flow_index)
+            g_entry_link.append(virtual_index[("phys-gp", link)])
+            phys_entry_flow.append(flow_index)
+            phys_entry_link.append(phys_id)
+        flow_phys_ids.append(tuple(phys_row))
+
+    demands = np.asarray([flow.demand for flow in flows], dtype=np.float64)
+    guarantee = MaxMinProblem(
+        np.asarray(g_entry_flow, dtype=np.intp),
+        np.asarray(g_entry_link, dtype=np.intp),
+        demands,
+        np.asarray(virtual_caps, dtype=np.float64),
+    )
+    return EnforcementProblem(
+        guarantee=guarantee,
+        phys_entry_flow=np.asarray(phys_entry_flow, dtype=np.intp),
+        phys_entry_link=np.asarray(phys_entry_link, dtype=np.intp),
+        phys_capacities=np.asarray(phys_caps, dtype=np.float64),
+        demands=demands,
+        flow_phys_ids=tuple(flow_phys_ids),
+    )
+
+
+def solve_enforcement(problem: EnforcementProblem) -> EnforcementResult:
+    """GP + work-conserving RA on a pre-built :class:`EnforcementProblem`."""
+    guarantees = solve_maxmin(problem.guarantee)
+
+    # Work conservation: divide residual physical capacity max-min among
+    # flows that still have demand beyond their guarantee.  The residual
+    # is subtracted flow-by-flow in crossing order (not one mat-vec) so
+    # the float arithmetic matches the scalar reference bit-for-bit.
+    residual = problem.phys_capacities.copy()
+    for phys_row, guarantee in zip(problem.flow_phys_ids, guarantees):
+        for phys_id in phys_row:
+            residual[phys_id] -= guarantee
+    residual = np.where(residual > 0.0, residual, 0.0)
+    extra_limits = np.where(
+        problem.demands - guarantees > 0.0, problem.demands - guarantees, 0.0
+    )
+    extras = solve_maxmin(
+        MaxMinProblem(
+            problem.phys_entry_flow,
+            problem.phys_entry_link,
+            extra_limits,
+            residual,
+        )
+    )
+    rates = tuple(g + e for g, e in zip(guarantees, extras))
+    return EnforcementResult(guarantees=tuple(guarantees), rates=rates)
+
+
 def enforce(
     tag: Tag,
     flows: Sequence[PairFlow],
@@ -82,62 +260,8 @@ def enforce(
     (§5.2 leaves 10%); it bounds the guarantee phase, not work
     conservation.
     """
-    if mode not in ("tag", "hose"):
-        raise EnforcementError(f"mode must be 'tag' or 'hose', got {mode!r}")
-    if not 0 <= headroom < 1:
-        raise EnforcementError(f"headroom must be in [0, 1), got {headroom!r}")
-    guarantee_flows = []
-    virtual_capacities: dict[object, float] = {}
-    for flow in flows:
-        if flow.src_tier == flow.dst_tier:
-            edge = tag.self_loop(flow.src_tier)
-        else:
-            edge = tag.edge(flow.src_tier, flow.dst_tier)
-        if edge is None:
-            raise EnforcementError(
-                f"no TAG guarantee covers flow {flow.src_vm} -> {flow.dst_vm}"
-            )
-        if mode == "tag":
-            send_link = ("snd", flow.src_vm, edge.src, edge.dst)
-            recv_link = ("rcv", flow.dst_vm, edge.src, edge.dst)
-            virtual_capacities[send_link] = edge.send
-            virtual_capacities[recv_link] = edge.recv
-        else:
-            send_link = ("snd", flow.src_vm)
-            recv_link = ("rcv", flow.dst_vm)
-            out, _ = tag.per_vm_demand(flow.src_tier)
-            _, into = tag.per_vm_demand(flow.dst_tier)
-            virtual_capacities[send_link] = out
-            virtual_capacities[recv_link] = into
-        # The guarantee phase is additionally bounded by the reserved
-        # share of the physical links the flow crosses.
-        physical = tuple(("phys-gp", link) for link in flow.links)
-        for link in flow.links:
-            virtual_capacities[("phys-gp", link)] = capacities[link] * (
-                1.0 - headroom
-            )
-        guarantee_flows.append(
-            FlowSpec(
-                links=(send_link, recv_link) + physical, limit=flow.demand
-            )
+    return solve_enforcement(
+        build_enforcement_problem(
+            tag, flows, capacities, mode=mode, headroom=headroom
         )
-    guarantees = maxmin_rates(guarantee_flows, virtual_capacities)
-
-    # Work conservation: divide residual physical capacity max-min among
-    # flows that still have demand beyond their guarantee.
-    residual = dict(capacities)
-    for flow, guarantee in zip(flows, guarantees):
-        for link in flow.links:
-            residual[link] -= guarantee
-    for link in residual:
-        residual[link] = max(0.0, residual[link])
-    extra_flows = [
-        FlowSpec(
-            links=tuple(flow.links),
-            limit=max(0.0, flow.demand - guarantee),
-        )
-        for flow, guarantee in zip(flows, guarantees)
-    ]
-    extras = maxmin_rates(extra_flows, residual)
-    rates = tuple(g + e for g, e in zip(guarantees, extras))
-    return EnforcementResult(guarantees=tuple(guarantees), rates=rates)
+    )

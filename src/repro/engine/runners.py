@@ -17,6 +17,7 @@ inference  ``{"scores": [...], "applications": int}``
 runtime    ``{"seconds": float, "placed": bool}`` or ``None`` (skipped)
 enforce    :class:`repro.enforcement.scenarios.Fig13Point`
 hose_fail  :class:`repro.enforcement.scenarios.Fig4Outcome`
+temporal   ``{"windows", "tenants", "admitted", "utilization"}``
 survey     raw Fig. 1 ratio data (dict)
 ========== ==========================================================
 
@@ -152,6 +153,56 @@ def run_hose_failure_trial(trial: Trial):
     )
 
 
+def run_temporal_trial(trial: Trial) -> dict[str, Any]:
+    """§6 window-aware admission capacity at one window count.
+
+    Admits a deterministic day/night tenant mix into a fresh W-plane
+    cluster; the variant axis selects the accounting — ``window`` keeps
+    per-window reservations, ``peak`` flattens every tenant to its peak
+    (the classic time-unaware system).
+    """
+    from repro.temporal.admission import TemporalCluster, peak_equivalent
+    from repro.temporal.profile import TemporalTag, diurnal_profile
+    from repro.workloads.patterns import mapreduce, three_tier
+
+    mode = trial.variant.placer
+    if mode not in ("window", "peak"):
+        raise EngineError(
+            f"temporal variant must be 'window' or 'peak', got {mode!r}"
+        )
+    windows = int(trial.x)
+    tenants = int(trial.param("tenants", 48))
+    trough = float(trial.param("trough", 0.2))
+    day = diurnal_profile(windows, peak_window=windows // 3, trough=trough)
+    night = diurnal_profile(
+        windows, peak_window=windows // 3 + windows // 2, trough=trough
+    )
+    cluster = TemporalCluster(trial.topology.spec, windows=windows)
+    admitted = 0
+    for index in range(tenants):
+        if index % 2 == 0:
+            tenant = TemporalTag(
+                three_tier(f"web-{index}", (4, 4, 2), 675.0, 225.0, 60.0), day
+            )
+        else:
+            tenant = TemporalTag(
+                mapreduce(f"batch-{index}", 6, 3, 600.0, intra_bw=240.0), night
+            )
+        if mode == "peak":
+            tenant = peak_equivalent(tenant)
+        if cluster.admit(tenant) is not None:
+            admitted += 1
+    return {
+        "windows": windows,
+        "tenants": tenants,
+        "admitted": admitted,
+        "utilization": [
+            cluster.window_utilization(window, level=0)
+            for window in range(windows)
+        ],
+    }
+
+
 def run_survey_trial(trial: Trial) -> dict[str, Any]:
     """Raw Fig. 1 data: workload demand vs datacenter provisioning."""
     from repro.workloads.survey import DATACENTERS, WORKLOADS, datacenter_ratios
@@ -181,6 +232,7 @@ RUNNERS: dict[str, Callable[[Trial], Any]] = {
     "runtime": run_runtime_trial,
     "enforce": run_enforce_trial,
     "hose_fail": run_hose_failure_trial,
+    "temporal": run_temporal_trial,
     "survey": run_survey_trial,
 }
 
@@ -199,6 +251,9 @@ KIND_AXES: dict[str, frozenset[str]] = {
     # the tag/hose mode, so --placers is meaningful.
     "enforce": frozenset({"placers"}),
     "hose_fail": frozenset({"placers"}),
+    # The variant axis is the accounting mode (window vs peak); the
+    # x-axis is the window count.
+    "temporal": frozenset({"placers", "pods"}),
     "survey": frozenset(),
 }
 

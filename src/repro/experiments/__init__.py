@@ -20,6 +20,7 @@ from repro.experiments import (
     inference_ami,
     runtime_scaling,
     table1_reserved_bw,
+    temporal_savings,
 )
 
 EXPERIMENTS = {
@@ -35,6 +36,7 @@ EXPERIMENTS = {
     "fig13": fig13_enforcement,
     "runtime": runtime_scaling,
     "inference": inference_ami,
+    "temporal": temporal_savings,
 }
 
 __all__ = ["EXPERIMENTS"]

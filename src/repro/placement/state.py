@@ -301,10 +301,15 @@ class TenantAllocation:
         abstraction's requirement function (Table 1's CM+VOC column).
         """
         flat = self._flat
+        for node_id, counts in self.iter_node_counts_id():
+            yield flat.node_of[node_id], counts  # type: ignore[misc]
+
+    def iter_node_counts_id(self) -> Iterator[tuple[int, Mapping[str, int]]]:
+        """Id-indexed :meth:`iter_node_counts` for flat-core consumers."""
         for node_id, counts in self._counts.items():
             live = {t: n for t, n in counts.items() if n > 0}
             if live:
-                yield flat.node_of[node_id], live  # type: ignore[misc]
+                yield node_id, live
 
     def tier_spread(self, tier: str, level: int) -> dict[int, int]:
         """Per-fault-domain VM counts of ``tier`` at ``level`` (WCS input)."""

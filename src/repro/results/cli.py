@@ -85,7 +85,9 @@ def _export(args: argparse.Namespace) -> int:
         # to stderr so piped consumers see an empty stream, not a row.
         print("no stored results match the filter", file=sys.stderr)
         return 1
-    if args.output is None:
+    if args.output is None or args.output == "-":
+        # "-" is the conventional explicit-stdout spelling; both paths
+        # must emit exactly the bytes a file export would contain.
         print(text, end="")
     else:
         # utf-8 + no newline translation: equal stores must export
@@ -153,7 +155,7 @@ def _build_parser() -> argparse.ArgumentParser:
     export_cmd.add_argument("--kind", help="restrict to one trial kind")
     export_cmd.add_argument(
         "-o", "--output",
-        help="destination file (default: print to stdout)",
+        help="destination file, or '-' for stdout (the default)",
     )
     export_cmd.set_defaults(handler=_export)
 

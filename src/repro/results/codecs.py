@@ -242,6 +242,30 @@ def _hose_fail_metrics(payload) -> dict[str, float]:
     }
 
 
+def _temporal_from(data: dict) -> dict:
+    return {
+        "windows": int(data["windows"]),
+        "tenants": int(data["tenants"]),
+        "admitted": int(data["admitted"]),
+        "utilization": [float(value) for value in data["utilization"]],
+    }
+
+
+def _temporal_metrics(payload: dict) -> dict[str, float]:
+    tenants = payload["tenants"]
+    utilization = payload["utilization"]
+    return {
+        "admitted": float(payload["admitted"]),
+        "admitted_fraction": (
+            payload["admitted"] / tenants if tenants else 0.0
+        ),
+        "peak_window_utilization": max(utilization, default=0.0),
+        "mean_window_utilization": (
+            sum(utilization) / len(utilization) if utilization else 0.0
+        ),
+    }
+
+
 def _survey_from(data: dict) -> dict:
     # JSON lowers tuples to lists; the runner emits tuple rows, so the
     # round-trip must restore them for payload equality.
@@ -294,6 +318,13 @@ register_codec(
     to_payload=_hose_fail_to,
     from_payload=_hose_fail_from,
     metrics=_hose_fail_metrics,
+)
+register_codec(
+    "temporal",
+    version=1,
+    to_payload=_identity,
+    from_payload=_temporal_from,
+    metrics=_temporal_metrics,
 )
 register_codec(
     "survey",

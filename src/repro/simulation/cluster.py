@@ -48,7 +48,16 @@ class ClusterManager:
         self.laa_level = laa_level
         self.collect_wcs = collect_wcs
         self.metrics = RunMetrics()
-        self.active: list[object] = []
+        # Keyed by object identity so departures are O(1) instead of an
+        # O(n) list scan — long arrival/departure runs used to go
+        # quadratic in live tenants.  Insertion order is preserved, so
+        # iteration over ``active`` matches the old list's order.
+        self._active: dict[int, object] = {}
+
+    @property
+    def active(self) -> list[object]:
+        """Live allocations, in admission order."""
+        return list(self._active.values())
 
     def admit(self, tag: Tag):
         """Place one tenant, updating metrics; returns the result."""
@@ -61,15 +70,17 @@ class ClusterManager:
             self._sample_utilization()
             return result
         assert isinstance(result, Placement)
-        self.active.append(result.allocation)
+        self._active[id(result.allocation)] = result.allocation
         if self.collect_wcs:
             self._sample_wcs(result.allocation)
         self._sample_utilization()
         return result
 
     def depart(self, allocation) -> None:
+        if id(allocation) not in self._active:
+            raise KeyError("departing allocation is not active")
         allocation.release()
-        self.active.remove(allocation)
+        del self._active[id(allocation)]
 
     def _sample_utilization(self) -> None:
         topology = self.ledger.topology

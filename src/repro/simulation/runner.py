@@ -151,13 +151,20 @@ def measure_reserved_bandwidth(
     cm_tag = _per_level(cm_ledger)
 
     # Same placement, accounted under the VOC abstraction (footnote 7).
+    # Walks the flat core's id twins — ``iter_node_counts_id`` plus the
+    # precomputed ``level[]`` array — instead of ``Node`` objects.
     cm_voc = {name: 0.0 for name in ReservedBandwidth.LEVELS}
+    flat = topology.flat
+    levels = flat.level
+    root_id = flat.root_id
+    num_levels = len(ReservedBandwidth.LEVELS)
     for allocation in cm_manager.active:
-        for node, counts in allocation.iter_node_counts():
-            if node.is_root or node.level >= len(ReservedBandwidth.LEVELS):
+        for node_id, counts in allocation.iter_node_counts_id():
+            level = levels[node_id]
+            if node_id == root_id or level >= num_levels:
                 continue
             requirement = voc_uplink_requirement(allocation.tag, counts)
-            cm_voc[ReservedBandwidth.LEVELS[node.level]] += requirement.out / 1000.0
+            cm_voc[ReservedBandwidth.LEVELS[level]] += requirement.out / 1000.0
 
     # Oktopus deploying the same accepted tenants as VOCs.
     ovoc_ledger = Ledger(topology)

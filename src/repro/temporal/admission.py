@@ -1,9 +1,9 @@
 """Window-aware admission control for time-varying tenants (§6 extension).
 
 The classic system reserves every tenant's peak demand around the clock.
-Here the datacenter keeps **W bandwidth planes** — one reservation ledger
+Here the datacenter keeps **W bandwidth planes** — one reservation state
 per time window over the shared topology — and the unmodified CloudMirror
-algorithm runs against a :class:`TemporalLedger` facade:
+algorithm runs against a :class:`TemporalLedger`:
 
 * every bandwidth adjustment CM makes (derived from the tenant's *peak*
   TAG) is applied to each plane scaled by that window's fraction of the
@@ -16,6 +16,30 @@ A day-peaking web service and a night-peaking batch job then overlap on
 the same oversubscribed links — their binding windows differ — which the
 peak-everywhere accounting forbids.  With flat profiles every plane is
 identical and the system degenerates to the classic one.
+
+Unlike the pre-PR-5 facade (frozen under
+``benchmarks/_legacy/temporal_admission.py``), the ledger does **not**
+multiplex W :class:`~repro.topology.ledger.Ledger` objects.  All W
+planes live in one contiguous state block per direction over the shared
+:class:`~repro.topology.flat.FlatTopology` — each node's W-window column
+is one contiguous slice, and :meth:`TemporalLedger.plane_matrices`
+exposes the block as ``(W × num_nodes)`` numpy matrices for bulk
+readers — plus an incrementally-maintained per-node worst-case cache,
+so:
+
+* ``available_*``/``nominal_*``/``reserved_*`` are a single cache load
+  (capacity minus the cross-plane maximum) instead of a generator
+  expression ``min`` over W per-plane method calls;
+* ``adjust_uplink_id`` is one fused scaled-delta + feasibility check
+  across the whole plane column, journalled as a single tuple undo
+  record (previous column + previous maxima) — no per-plane journals
+  and no partial-failure rollback loop;
+* ``window_utilization`` reads level id slices off the flat topology
+  instead of walking ``Node`` objects.
+
+VM slots are time-invariant, so slot state stays scalar — the very
+same :class:`~repro.topology.ledger.SlotAccountingMixin` the classic
+ledger uses.
 """
 
 from __future__ import annotations
@@ -23,39 +47,87 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
+from repro.core.constants import EPSILON
 from repro.errors import LedgerError, SimulationError
 from repro.placement.base import Placement, Rejection
 from repro.placement.cloudmirror import CloudMirrorPlacer
 from repro.temporal.profile import TemporalProfile, TemporalTag
 from repro.topology.builder import DatacenterSpec, three_level_tree
-from repro.topology.ledger import Journal, Ledger
+from repro.topology.ledger import OP_SLOTS, Journal, SlotAccountingMixin
 from repro.topology.tree import Node, Topology
 
 __all__ = [
     "TemporalLedger",
+    "TemporalPlaneView",
     "TemporalAdmission",
     "TemporalCluster",
     "peak_equivalent",
 ]
 
+_EPSILON = EPSILON
 
-@dataclass(frozen=True)
-class _MultiOp:
-    """One composite mutation: per-plane journal savepoints before it."""
+# Journal op tags.  Slot records come from SlotAccountingMixin under
+# the shared ``OP_SLOTS`` tag; the bandwidth record is this ledger's
+# own shape —
+#   (_OP_BANDWIDTH, node_id, prev_up_column, prev_down_column,
+#    prev_max_up, prev_max_down)
+# — one record undoing the mutation on every plane at once.
+_OP_SLOTS = OP_SLOTS
+_OP_BANDWIDTH = 1
 
-    plane_marks: tuple[int, ...]
+
+class TemporalPlaneView:
+    """Read-only view of one window's reservations (tests, benchmarks)."""
+
+    __slots__ = ("_ledger", "_window")
+
+    def __init__(self, ledger: "TemporalLedger", window: int) -> None:
+        self._ledger = ledger
+        self._window = window
+
+    def reserved_up(self, node: Node) -> float:
+        return self.reserved_up_id(node.node_id)
+
+    def reserved_up_id(self, node_id: int) -> float:
+        ledger = self._ledger
+        if node_id == ledger._root_id:
+            return 0.0
+        return ledger._up[node_id * ledger.windows + self._window]
+
+    def reserved_down(self, node: Node) -> float:
+        return self.reserved_down_id(node.node_id)
+
+    def reserved_down_id(self, node_id: int) -> float:
+        ledger = self._ledger
+        if node_id == ledger._root_id:
+            return 0.0
+        return ledger._down[node_id * ledger.windows + self._window]
+
+    def reserved_at_level(self, level: int) -> float:
+        ledger = self._ledger
+        up = ledger._up
+        windows = ledger.windows
+        window = self._window
+        root_id = ledger._root_id
+        return sum(
+            up[node_id * windows + window]
+            for node_id in ledger.flat.level_ids[level]
+            if node_id != root_id
+        )
 
 
-class TemporalLedger:
-    """A Ledger facade multiplexing W per-window bandwidth planes.
+class TemporalLedger(SlotAccountingMixin):
+    """W bandwidth planes on one contiguous per-direction state block.
 
     Duck-types the :class:`repro.topology.ledger.Ledger` surface the
-    placement machinery uses.  Slots are global (plane 0 owns them);
-    bandwidth deltas apply to every plane scaled by the *active ratios*
-    (the current tenant's per-window fraction of its peak), which the
-    caller must set via :meth:`set_ratios` before placing or releasing a
-    tenant — reservations are plane-scaled per tenant, so release must
-    run under the same ratios as the original placement.
+    placement machinery uses.  Slots are global; bandwidth deltas apply
+    to every plane scaled by the *active ratios* (the current tenant's
+    per-window fraction of its peak), which the caller must set via
+    :meth:`set_ratios` before placing or releasing a tenant —
+    reservations are plane-scaled per tenant, so release must run under
+    the same ratios as the original placement.
     """
 
     def __init__(self, topology: Topology, windows: int) -> None:
@@ -64,11 +136,47 @@ class TemporalLedger:
         self.topology = topology
         # The flat array view the placement machinery drives its path
         # walks from (shared by every plane; structure is per-topology).
-        self.flat = topology.flat
+        flat = topology.flat
+        self.flat = flat
         self.windows = windows
-        self.planes = [Ledger(topology) for _ in range(windows)]
-        self._plane_journals = [Journal() for _ in range(windows)]
+        size = flat.size
+        self._root_id = flat.root_id
+        # Local aliases of the flat capacity arrays: the availability
+        # queries below are the placer's innermost loop.
+        self._cap_up = flat.cap_up
+        self._cap_down = flat.cap_down
+        self._nom_up = flat.nominal_up
+        self._nom_down = flat.nominal_down
+        # The reservation block: node ``i``'s W-window column is the
+        # contiguous slice ``[i*W, (i+1)*W)``, so the fused adjust reads
+        # and writes one slice; plane ``w`` is the stride-W view
+        # ``[w::W]`` (see plane_matrices / TemporalPlaneView).
+        self._up = [0.0] * (size * windows)
+        self._down = [0.0] * (size * windows)
+        # Cross-plane maxima per node, maintained on every mutation so
+        # worst-case availability queries are one load + subtraction.
+        self._max_up = [0.0] * size
+        self._max_down = [0.0] * size
+        self._used_slots = [0] * size
+        self._free_subtree = list(flat.subtree_slots)
+        self._over: set[int] = set()
         self._ratios: tuple[float, ...] = tuple([1.0] * windows)
+        self._planes = tuple(
+            TemporalPlaneView(self, window) for window in range(windows)
+        )
+
+    @property
+    def planes(self) -> tuple[TemporalPlaneView, ...]:
+        """Per-window read views (the legacy per-plane-Ledger surface)."""
+        return self._planes
+
+    def plane_matrices(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(W × num_nodes)`` numpy snapshots of both direction blocks."""
+        shape = (self.flat.size, self.windows)
+        return (
+            np.asarray(self._up).reshape(shape).T.copy(),
+            np.asarray(self._down).reshape(shape).T.copy(),
+        )
 
     # ------------------------------------------------------------------
     def set_ratios(self, profile: TemporalProfile) -> None:
@@ -83,76 +191,92 @@ class TemporalLedger:
             raise SimulationError("profile peak must be positive")
         self._ratios = tuple(factor / peak for factor in profile.factors)
 
-    def _mark(self) -> tuple[int, ...]:
-        return tuple(journal.savepoint() for journal in self._plane_journals)
-
     # ------------------------------------------------------------------
-    # Ledger surface used by placement
+    # Ledger surface used by placement: queries (slot queries come from
+    # SlotAccountingMixin)
     # ------------------------------------------------------------------
-    def free_slots(self, node: Node) -> int:
-        return self.planes[0].free_slots(node)
-
-    def free_slots_id(self, node_id: int) -> int:
-        return self.planes[0].free_slots_id(node_id)
-
-    def used_slots(self, server: Node) -> int:
-        return self.planes[0].used_slots(server)
-
-    def used_slots_id(self, server_id: int) -> int:
-        return self.planes[0].used_slots_id(server_id)
-
     def available_up(self, node: Node) -> float:
-        return min(plane.available_up(node) for plane in self.planes)
+        return self.available_up_id(node.node_id)
 
     def available_up_id(self, node_id: int) -> float:
-        return min(plane.available_up_id(node_id) for plane in self.planes)
+        if node_id == self._root_id:
+            return math.inf
+        return self._cap_up[node_id] - self._max_up[node_id]
 
     def available_down(self, node: Node) -> float:
-        return min(plane.available_down(node) for plane in self.planes)
+        return self.available_down_id(node.node_id)
 
     def available_down_id(self, node_id: int) -> float:
-        return min(plane.available_down_id(node_id) for plane in self.planes)
+        if node_id == self._root_id:
+            return math.inf
+        return self._cap_down[node_id] - self._max_down[node_id]
 
     def nominal_available_up(self, node: Node) -> float:
-        return min(plane.nominal_available_up(node) for plane in self.planes)
+        return self.nominal_available_up_id(node.node_id)
 
     def nominal_available_up_id(self, node_id: int) -> float:
-        return min(
-            plane.nominal_available_up_id(node_id) for plane in self.planes
-        )
+        if node_id == self._root_id:
+            return math.inf
+        return self._nom_up[node_id] - self._max_up[node_id]
 
     def nominal_available_down(self, node: Node) -> float:
-        return min(plane.nominal_available_down(node) for plane in self.planes)
+        return self.nominal_available_down_id(node.node_id)
 
     def nominal_available_down_id(self, node_id: int) -> float:
-        return min(
-            plane.nominal_available_down_id(node_id) for plane in self.planes
-        )
+        if node_id == self._root_id:
+            return math.inf
+        return self._nom_down[node_id] - self._max_down[node_id]
 
     def reserved_up(self, node: Node) -> float:
-        return max(plane.reserved_up(node) for plane in self.planes)
+        node_id = node.node_id
+        return 0.0 if node_id == self._root_id else self._max_up[node_id]
 
     def reserved_down(self, node: Node) -> float:
-        return max(plane.reserved_down(node) for plane in self.planes)
+        node_id = node.node_id
+        return 0.0 if node_id == self._root_id else self._max_down[node_id]
 
     def reserved_at_level(self, level: int) -> float:
-        return max(plane.reserved_at_level(level) for plane in self.planes)
+        """Worst-case (across planes) reserved up-bandwidth at one level."""
+        return max(plane.reserved_at_level(level) for plane in self._planes)
+
+    def window_level_fraction(self, window: int, level: int) -> float:
+        """Reserved fraction of one level's aggregate capacity, one window.
+
+        Level slices come straight off the flat topology's ``level_ids``;
+        summation order matches the legacy ``level_nodes`` walk so the
+        reported fractions are bit-stable across the rebuild.
+        """
+        flat = self.flat
+        root_id = self._root_id
+        ids = [i for i in flat.level_ids[level] if i != root_id]
+        capacity = sum(flat.cap_up[i] for i in ids)
+        if capacity == 0 or math.isinf(capacity):
+            return 0.0
+        up = self._up
+        windows = self.windows
+        return sum(up[i * windows + window] for i in ids) / capacity
 
     def has_overcommit(self) -> bool:
-        return any(plane.has_overcommit() for plane in self.planes)
+        return bool(self._over)
 
-    def reserve_slots(self, server: Node, count: int, journal: Journal) -> bool:
-        marks = self._mark()
-        if not self.planes[0].reserve_slots(
-            server, count, self._plane_journals[0]
+    def overcommitted_nodes(self) -> frozenset[int]:
+        return frozenset(self._over)
+
+    def _update_overcommit(
+        self, node_id: int, max_up: float, max_down: float
+    ) -> None:
+        """Refresh ``node_id``'s overcommit membership from its new maxima."""
+        if (
+            max_up > self._cap_up[node_id] + _EPSILON
+            or max_down > self._cap_down[node_id] + _EPSILON
         ):
-            return False
-        journal.ops.append(_MultiOp(marks))
-        return True
+            self._over.add(node_id)
+        else:
+            self._over.discard(node_id)
 
-    def release_slots(self, server: Node, count: int) -> None:
-        self.planes[0].release_slots(server, count)
-
+    # ------------------------------------------------------------------
+    # mutations (journalled; slot mutations come from SlotAccountingMixin)
+    # ------------------------------------------------------------------
     def adjust_uplink(
         self,
         node: Node,
@@ -173,43 +297,112 @@ class TemporalLedger:
         journal: Journal,
         enforce: bool = True,
     ) -> bool:
-        marks = self._mark()
-        for window, ratio in enumerate(self._ratios):
-            ok = self.planes[window].adjust_uplink_id(
+        """One fused scaled-delta + feasibility check across all planes."""
+        if node_id == self._root_id:
+            return True
+        windows = self.windows
+        base = node_id * windows
+        up = self._up
+        down = self._down
+        ratios = self._ratios
+        prev_up = up[base : base + windows]
+        prev_down = down[base : base + windows]
+        new_up = [p + delta_up * r for p, r in zip(prev_up, ratios)]
+        new_down = [p + delta_down * r for p, r in zip(prev_down, ratios)]
+        if delta_up < 0.0 or delta_down < 0.0:
+            # Columns can only dip negative on a release-style delta.
+            if min(new_up) < -_EPSILON or min(new_down) < -_EPSILON:
+                name = self.flat.node_of[node_id].name  # type: ignore[union-attr]
+                raise LedgerError(
+                    f"uplink reservation on {name!r} would become negative"
+                )
+            new_up = [v if v > 0.0 else 0.0 for v in new_up]
+            new_down = [v if v > 0.0 else 0.0 for v in new_down]
+        max_up = max(new_up)
+        max_down = max(new_down)
+        over = (
+            max_up > self._cap_up[node_id] + _EPSILON
+            or max_down > self._cap_down[node_id] + _EPSILON
+        )
+        if enforce and over:
+            return False
+        up[base : base + windows] = new_up
+        down[base : base + windows] = new_down
+        journal.ops.append(
+            (
+                _OP_BANDWIDTH,
                 node_id,
-                delta_up * ratio,
-                delta_down * ratio,
-                self._plane_journals[window],
-                enforce=enforce,
+                prev_up,
+                prev_down,
+                self._max_up[node_id],
+                self._max_down[node_id],
             )
-            if not ok:
-                for done in range(window):
-                    self.planes[done].rollback(
-                        self._plane_journals[done], marks[done]
-                    )
-                return False
-        journal.ops.append(_MultiOp(marks))
+        )
+        self._max_up[node_id] = max_up
+        self._max_down[node_id] = max_down
+        if over:
+            self._over.add(node_id)
+        else:
+            self._over.discard(node_id)
         return True
 
     def release_uplink(self, node: Node, up: float, down: float) -> None:
         self.release_uplink_id(node.node_id, up, down)
 
     def release_uplink_id(self, node_id: int, up: float, down: float) -> None:
-        for window, ratio in enumerate(self._ratios):
-            if up * ratio or down * ratio:
-                self.planes[window].release_uplink_id(
-                    node_id, up * ratio, down * ratio
-                )
-
-    def rollback(self, journal: Journal, savepoint: int = 0) -> None:
-        if len(journal.ops) <= savepoint:
+        """Unjournalled scaled release on every plane (departure path)."""
+        if node_id == self._root_id:
             return
-        first = journal.ops[savepoint]
-        if not isinstance(first, _MultiOp):  # pragma: no cover - defensive
-            raise LedgerError("foreign ops in a temporal journal")
-        for window, mark in enumerate(first.plane_marks):
-            self.planes[window].rollback(self._plane_journals[window], mark)
-        del journal.ops[savepoint:]
+        windows = self.windows
+        base = node_id * windows
+        ratios = self._ratios
+        new_up = [
+            p - up * r
+            for p, r in zip(self._up[base : base + windows], ratios)
+        ]
+        new_down = [
+            p - down * r
+            for p, r in zip(self._down[base : base + windows], ratios)
+        ]
+        if min(new_up) < -_EPSILON or min(new_down) < -_EPSILON:
+            name = self.flat.node_of[node_id].name  # type: ignore[union-attr]
+            raise LedgerError(
+                f"releasing more bandwidth than reserved on {name!r}"
+            )
+        new_up = [v if v > 0.0 else 0.0 for v in new_up]
+        new_down = [v if v > 0.0 else 0.0 for v in new_down]
+        self._up[base : base + windows] = new_up
+        self._down[base : base + windows] = new_down
+        max_up = max(new_up)
+        max_down = max(new_down)
+        self._max_up[node_id] = max_up
+        self._max_down[node_id] = max_down
+        self._update_overcommit(node_id, max_up, max_down)
+
+    # ------------------------------------------------------------------
+    # rollback
+    # ------------------------------------------------------------------
+    def rollback(self, journal: Journal, savepoint: int = 0) -> None:
+        """Undo journalled operations back to ``savepoint`` (in reverse)."""
+        ops = journal.ops
+        windows = self.windows
+        while len(ops) > savepoint:
+            op = ops.pop()
+            tag = op[0]
+            if tag == _OP_SLOTS:
+                self._apply_slots(op[1], -op[2])
+            elif tag == _OP_BANDWIDTH:
+                node_id = op[1]
+                base = node_id * windows
+                self._up[base : base + windows] = op[2]
+                self._down[base : base + windows] = op[3]
+                max_up = op[4]
+                max_down = op[5]
+                self._max_up[node_id] = max_up
+                self._max_down[node_id] = max_down
+                self._update_overcommit(node_id, max_up, max_down)
+            else:  # pragma: no cover - defensive
+                raise LedgerError(f"unknown journal op {op!r}")
 
 
 @dataclass
@@ -229,8 +422,13 @@ class TemporalCluster:
         self.topology: Topology = three_level_tree(spec)
         self.ledger = TemporalLedger(self.topology, windows)
         self.placer = CloudMirrorPlacer(self.ledger)  # type: ignore[arg-type]
-        self.admitted: list[TemporalAdmission] = []
+        self._admitted: dict[int, TemporalAdmission] = {}
         self.rejected = 0
+
+    @property
+    def admitted(self) -> list[TemporalAdmission]:
+        """Live admissions, in admission order."""
+        return list(self._admitted.values())
 
     def admit(self, tenant: TemporalTag) -> TemporalAdmission | None:
         """Place one time-varying tenant; None when any window overflows."""
@@ -246,25 +444,22 @@ class TemporalCluster:
             return None
         assert isinstance(result, Placement)
         admission = TemporalAdmission(tenant, result.allocation)
-        self.admitted.append(admission)
+        self._admitted[id(admission)] = admission
         return admission
 
     def depart(self, admission: TemporalAdmission) -> None:
         # Release must run under the departing tenant's own ratios: its
         # plane reservations were scaled by them at placement time.
+        if id(admission) not in self._admitted:
+            raise SimulationError("departing tenant was never admitted")
         self.ledger.set_ratios(admission.tenant.profile)
         admission.allocation.release()
-        self.admitted.remove(admission)
+        del self._admitted[id(admission)]
 
     # ------------------------------------------------------------------
     def window_utilization(self, window: int, level: int) -> float:
         """Reserved fraction of one level's aggregate capacity, one window."""
-        plane = self.ledger.planes[window]
-        nodes = [n for n in self.topology.level_nodes(level) if not n.is_root]
-        capacity = sum(n.uplink_up for n in nodes)
-        if capacity == 0 or math.isinf(capacity):
-            return 0.0
-        return sum(plane.reserved_up(n) for n in nodes) / capacity
+        return self.ledger.window_level_fraction(window, level)
 
 
 def peak_equivalent(tenant: TemporalTag) -> TemporalTag:

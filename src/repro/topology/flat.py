@@ -27,6 +27,9 @@ contiguous id-indexed lists:
     preorder server list, replacing per-call tree walks.
 ``subtree_slots[i]``
     Total VM slots below node ``i``.
+``level_ids[level]``
+    Node ids per tree level in ``Topology.level_nodes`` order, for
+    level-aggregate sums (Table 1, temporal window utilization).
 
 Everything here is immutable and derived; all *reservation* state stays
 in :class:`repro.topology.ledger.Ledger`, which allocates its own
@@ -68,6 +71,8 @@ class FlatTopology:
         "subtree_slots",
         "server_ids",
         "children_ids",
+        "level_ids",
+        "num_levels",
     )
 
     def __init__(self, topology: Topology) -> None:
@@ -146,6 +151,15 @@ class FlatTopology:
                     stack.append((child, False))
         self.server_order = tuple(server_order)
         self.server_ids = frozenset(server_order)
+        # Per-level node id slices in ``Topology.level_nodes`` order, so
+        # level-aggregate consumers (Table 1 accounting, the temporal
+        # ledger's window utilization) sum ids instead of walking Nodes
+        # while keeping the legacy float summation order.
+        self.num_levels = topology.num_levels
+        self.level_ids: tuple[tuple[int, ...], ...] = tuple(
+            tuple(node.node_id for node in topology.level_nodes(level))
+            for level in range(self.num_levels)
+        )
 
     # ------------------------------------------------------------------
     # structure queries (Node-level convenience over the arrays)

@@ -31,7 +31,7 @@ from repro.core.constants import EPSILON
 from repro.errors import LedgerError
 from repro.topology.tree import Node, Topology
 
-__all__ = ["Ledger", "Journal"]
+__all__ = ["Ledger", "Journal", "SlotAccountingMixin"]
 
 # Tolerance for floating-point capacity comparisons (Mbps); the single
 # repo-wide value from repro.core.constants.
@@ -40,10 +40,14 @@ _EPSILON = EPSILON
 # Journal op tags.  Ops are plain tuples — (tag, ...) — because placement
 # sweeps journal millions of mutations and dataclass construction was a
 # measurable share of trial runtime:
-#   (_OP_SLOTS, server_id, count)
-#   (_OP_BANDWIDTH, node_id, prev_up, prev_down)
-_OP_SLOTS = 0
-_OP_BANDWIDTH = 1
+#   (OP_SLOTS, server_id, count)
+#   (OP_BANDWIDTH, node_id, prev_up, prev_down)
+# OP_SLOTS is part of the contract shared with every ledger that mixes
+# in SlotAccountingMixin: their rollback dispatch must treat tag 0 as a
+# slot op.  Bandwidth tags are per-ledger (the temporal ledger journals
+# a different record shape under the same tag value 1).
+OP_SLOTS = 0
+OP_BANDWIDTH = 1
 
 
 @dataclass
@@ -60,7 +64,67 @@ class Journal:
         return len(self.ops)
 
 
-class Ledger:
+class SlotAccountingMixin:
+    """Scalar VM-slot accounting shared by the reservation ledgers.
+
+    VM slots are time-invariant, so the classic :class:`Ledger` and the
+    W-plane temporal ledger keep exactly one copy of this state.  The
+    host class provides ``self.flat`` (slot capacities + ancestor id
+    tuples), ``self._used_slots`` and ``self._free_subtree`` (both
+    id-indexed lists), and a rollback that undoes ``(OP_SLOTS,
+    server_id, count)`` journal records via :meth:`_apply_slots`.
+    """
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def free_slots(self, node: Node) -> int:
+        """Free VM slots in the subtree rooted at ``node``."""
+        return self._free_subtree[node.node_id]
+
+    def free_slots_id(self, node_id: int) -> int:
+        return self._free_subtree[node_id]
+
+    def used_slots(self, server: Node) -> int:
+        return self._used_slots[server.node_id]
+
+    def used_slots_id(self, server_id: int) -> int:
+        return self._used_slots[server_id]
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+    def reserve_slots(self, server: Node, count: int, journal: Journal) -> bool:
+        """Reserve ``count`` VM slots on ``server``; False if over capacity."""
+        server_id = server.node_id
+        if count <= 0:
+            raise LedgerError(f"slot reservation must be positive, got {count}")
+        if self._used_slots[server_id] + count > self.flat.slots[server_id]:
+            return False
+        self._apply_slots(server_id, count)
+        journal.ops.append((OP_SLOTS, server_id, count))
+        return True
+
+    def release_slots(self, server: Node, count: int) -> None:
+        """Release previously reserved slots (tenant departure path)."""
+        server_id = server.node_id
+        if count <= 0:
+            raise LedgerError(f"slot release must be positive, got {count}")
+        if self._used_slots[server_id] - count < 0:
+            raise LedgerError(
+                f"releasing {count} slots on {server.name!r} but only "
+                f"{self._used_slots[server_id]} reserved"
+            )
+        self._apply_slots(server_id, -count)
+
+    def _apply_slots(self, server_id: int, count: int) -> None:
+        self._used_slots[server_id] += count
+        free = self._free_subtree
+        for node_id in self.flat.ancestors[server_id]:
+            free[node_id] -= count
+
+
+class Ledger(SlotAccountingMixin):
     """Mutable reservation state over an immutable :class:`Topology`."""
 
     def __init__(self, topology: Topology) -> None:
@@ -93,21 +157,8 @@ class Ledger:
         return self._topology
 
     # ------------------------------------------------------------------
-    # queries
+    # queries (slot queries come from SlotAccountingMixin)
     # ------------------------------------------------------------------
-    def free_slots(self, node: Node) -> int:
-        """Free VM slots in the subtree rooted at ``node``."""
-        return self._free_subtree[node.node_id]
-
-    def free_slots_id(self, node_id: int) -> int:
-        return self._free_subtree[node_id]
-
-    def used_slots(self, server: Node) -> int:
-        return self._used_slots[server.node_id]
-
-    def used_slots_id(self, server_id: int) -> int:
-        return self._used_slots[server_id]
-
     def available_up(self, node: Node) -> float:
         """Unreserved uplink capacity toward the root."""
         return self.available_up_id(node.node_id)
@@ -164,10 +215,11 @@ class Ledger:
         the server / ToR / agg switch network levels".
         """
         used_up = self._used_up
+        root_id = self._root_id
         return sum(
-            used_up[n.node_id]
-            for n in self._topology.level_nodes(level)
-            if not n.is_root
+            used_up[node_id]
+            for node_id in self.flat.level_ids[level]
+            if node_id != root_id
         )
 
     def iter_utilization(self) -> Iterator[tuple[Node, float, float]]:
@@ -197,31 +249,8 @@ class Ledger:
         return used / capacity
 
     # ------------------------------------------------------------------
-    # mutations (journalled)
+    # mutations (journalled; slot mutations come from SlotAccountingMixin)
     # ------------------------------------------------------------------
-    def reserve_slots(self, server: Node, count: int, journal: Journal) -> bool:
-        """Reserve ``count`` VM slots on ``server``; False if over capacity."""
-        server_id = server.node_id
-        if count <= 0:
-            raise LedgerError(f"slot reservation must be positive, got {count}")
-        if self._used_slots[server_id] + count > self.flat.slots[server_id]:
-            return False
-        self._apply_slots(server_id, count)
-        journal.ops.append((_OP_SLOTS, server_id, count))
-        return True
-
-    def release_slots(self, server: Node, count: int) -> None:
-        """Release previously reserved slots (tenant departure path)."""
-        server_id = server.node_id
-        if count <= 0:
-            raise LedgerError(f"slot release must be positive, got {count}")
-        if self._used_slots[server_id] - count < 0:
-            raise LedgerError(
-                f"releasing {count} slots on {server.name!r} but only "
-                f"{self._used_slots[server_id]} reserved"
-            )
-        self._apply_slots(server_id, -count)
-
     def adjust_uplink(
         self,
         node: Node,
@@ -279,7 +308,7 @@ class Ledger:
             self._over.add(node_id)
         else:
             self._over.discard(node_id)
-        journal.ops.append((_OP_BANDWIDTH, node_id, prev_up, prev_down))
+        journal.ops.append((OP_BANDWIDTH, node_id, prev_up, prev_down))
         return True
 
     def has_overcommit(self) -> bool:
@@ -328,19 +357,12 @@ class Ledger:
         while len(ops) > savepoint:
             op = ops.pop()
             tag = op[0]
-            if tag == _OP_SLOTS:
+            if tag == OP_SLOTS:
                 self._apply_slots(op[1], -op[2])
-            elif tag == _OP_BANDWIDTH:
+            elif tag == OP_BANDWIDTH:
                 node_id = op[1]
                 used_up[node_id] = op[2]
                 used_down[node_id] = op[3]
                 self._update_overcommit(node_id)
             else:  # pragma: no cover - defensive
                 raise LedgerError(f"unknown journal op {op!r}")
-
-    # ------------------------------------------------------------------
-    def _apply_slots(self, server_id: int, count: int) -> None:
-        self._used_slots[server_id] += count
-        free = self._free_subtree
-        for node_id in self.flat.ancestors[server_id]:
-            free[node_id] -= count

@@ -153,6 +153,7 @@ class TestRegistry:
         "inference",
         "runtime",
         "table1",
+        "temporal",
     }
 
     def test_all_experiments_registered(self):

@@ -57,7 +57,14 @@ def golden_scenarios() -> list[Scenario]:
         seeds=(0,),
         variants=(Variant("secondnet"),),
     )
-    return [fig08, fig11, secondnet]
+    # The PR 5 planes-on-arrays rebuild: fig13 pins the max-min
+    # water-filling kernel (both abstraction modes), temporal pins the
+    # W-plane ledger's admission decisions and per-window utilization.
+    fig13 = registry.get("fig13").scenario.override(xs=tuple(range(4)))
+    temporal = registry.get("temporal").scenario.override(
+        xs=(1, 4, 6), params=(("tenants", 18), ("trough", 0.2))
+    )
+    return [fig08, fig11, secondnet, fig13, temporal]
 
 
 def compute_golden() -> list[dict[str, str]]:

@@ -94,6 +94,21 @@ class TestInference:
         assert result.mean > 0.3
 
 
+class TestTemporal:
+    def test_window_aware_admits_more(self, capsys):
+        from repro.experiments import temporal_savings
+
+        result = temporal_savings.run(windows=(4,), tenants=16)
+        admitted = {
+            r.trial.variant.name: r.payload["admitted"] for r in result
+        }
+        assert admitted["window"] >= admitted["peak"]
+        assert all(r.payload["tenants"] == 16 for r in result)
+        temporal_savings.present(result)
+        out = capsys.readouterr().out
+        assert "window-aware" in out and "peak-everywhere" in out
+
+
 class TestCli:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
@@ -109,6 +124,7 @@ class TestCli:
             "fig13",
             "runtime",
             "inference",
+            "temporal",
         }
 
     def test_list_command(self, capsys):

@@ -69,6 +69,15 @@ def _survey_payload():
     return execute_trial(_trial("survey")).payload
 
 
+def _temporal_payload():
+    return {
+        "windows": 4,
+        "tenants": 16,
+        "admitted": 11,
+        "utilization": [0.25, 0.5, 0.125, 0.0625],
+    }
+
+
 PAYLOAD_FACTORIES = {
     "rejection": _rejection_payload,
     "reserved": _reserved_payload,
@@ -77,6 +86,7 @@ PAYLOAD_FACTORIES = {
     "enforce": _enforce_payload,
     "hose_fail": _hose_fail_payload,
     "survey": _survey_payload,
+    "temporal": _temporal_payload,
 }
 
 

@@ -82,6 +82,87 @@ class TestExportStore:
         assert "fingerprint" in header
 
 
+@pytest.fixture
+def planes_store(tmp_path):
+    """A store holding the PR 5 kinds: fig13 (enforce) + temporal rows."""
+    path = str(tmp_path / "planes.sqlite")
+    fig13 = registry.get("fig13").scenario.override(xs=(0, 2))
+    temporal = registry.get("temporal").scenario.override(
+        xs=(2,), params=(("tenants", 8), ("trough", 0.2))
+    )
+    with ResultStore(path) as store:
+        Engine().run(fig13, store=store)
+        Engine().run(temporal, store=store)
+    return path
+
+
+class TestNewKindColumns:
+    """Schema stability for the fig13/temporal metric columns."""
+
+    def test_enforce_metric_columns(self, planes_store):
+        with ResultStore(planes_store) as store:
+            text, count = export_store(store, "csv", kind="enforce")
+        assert count == 4  # 2 variants x 2 sender counts
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        for row in parsed:
+            assert row["kind"] == "enforce"
+            float(row["metric_x_to_z"])
+            float(row["metric_c2_to_z"])
+
+    def test_temporal_metric_columns(self, planes_store):
+        with ResultStore(planes_store) as store:
+            text, count = export_store(store, "csv", kind="temporal")
+        assert count == 2  # window + peak variants
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        for row in parsed:
+            assert row["kind"] == "temporal"
+            assert float(row["metric_admitted"]) >= 0
+            assert 0.0 <= float(row["metric_admitted_fraction"]) <= 1.0
+            float(row["metric_peak_window_utilization"])
+            float(row["metric_mean_window_utilization"])
+        by_variant = {row["variant"]: row for row in parsed}
+        assert float(by_variant["window"]["metric_admitted"]) >= float(
+            by_variant["peak"]["metric_admitted"]
+        )
+
+    def test_mixed_kinds_share_sorted_metric_union(self, planes_store):
+        with ResultStore(planes_store) as store:
+            text, _ = export_store(store, "csv")
+        header = text.splitlines()[0].split(",")
+        metric_columns = [c for c in header if c.startswith("metric_")]
+        assert metric_columns == sorted(metric_columns)
+        assert "metric_x_to_z" in metric_columns
+        assert "metric_admitted" in metric_columns
+
+
+class TestOutputParity:
+    """``--output -`` (stdout) and a file path emit identical bytes."""
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    def test_stdout_dash_matches_file(self, planes_store, tmp_path, fmt, capsys):
+        out_path = tmp_path / f"rows.{fmt}"
+        assert main(
+            ["results", "export", planes_store, "--format", fmt,
+             "-o", str(out_path)]
+        ) == 0
+        capsys.readouterr()  # drop the "wrote N rows" notice
+        assert main(
+            ["results", "export", planes_store, "--format", fmt,
+             "--output", "-"]
+        ) == 0
+        stdout_text = capsys.readouterr().out
+        assert stdout_text == out_path.read_text(encoding="utf-8")
+
+    def test_default_stdout_matches_dash(self, planes_store, capsys):
+        assert main(["results", "export", planes_store, "--kind", "temporal"]) == 0
+        default_text = capsys.readouterr().out
+        assert main(
+            ["results", "export", planes_store, "--kind", "temporal",
+             "--output", "-"]
+        ) == 0
+        assert capsys.readouterr().out == default_text
+
+
 class TestExportCli:
     def test_export_to_stdout(self, capsys, populated):
         assert main(["results", "export", populated, "--format", "jsonl"]) == 0
