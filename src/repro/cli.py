@@ -201,6 +201,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.results.cli import results_main
 
             return results_main(argv[1:])
+        if argv[0] == "bench":
+            from repro.results.trajectory import bench_main
+
+            return bench_main(argv[1:])
         return _shorthand(argv[0], argv[1:])
     except BrokenPipeError:
         # Piped into head/less that exited: not an error.  Detach stdout

@@ -1,6 +1,7 @@
 """VM placement algorithms: CloudMirror, Oktopus (VOC), SecondNet (pipe)."""
 
 from repro.placement.base import Placement, PlacementResult, Placer, Rejection
+from repro.placement.candidates import CandidateIndex
 from repro.placement.cloudmirror import CloudMirrorPlacer
 from repro.placement.ha import (
     DemandEstimator,
@@ -14,6 +15,7 @@ from repro.placement.secondnet import PipeAllocation, SecondNetPlacer
 from repro.placement.state import TenantAllocation
 
 __all__ = [
+    "CandidateIndex",
     "CloudMirrorPlacer",
     "DemandEstimator",
     "HaPolicy",

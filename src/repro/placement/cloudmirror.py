@@ -67,6 +67,7 @@ class CloudMirrorPlacer:
         enable_balance: bool = True,
         subtree_choice: str = "best-fit",
         ha: HaPolicy | None = None,
+        use_candidate_index: bool = True,
     ) -> None:
         if subtree_choice not in ("best-fit", "most-free"):
             raise ValueError(
@@ -76,6 +77,9 @@ class CloudMirrorPlacer:
         self.ledger = ledger
         self.topology = ledger.topology
         self._flat = ledger.flat
+        # Incrementally-maintained subtree candidate order; ``False``
+        # falls back to the full per-level scan (the lockstep baseline).
+        self._index = ledger.ensure_candidate_index() if use_candidate_index else None
         self.enable_colocate = enable_colocate
         self.enable_balance = enable_balance
         self.subtree_choice = subtree_choice
@@ -203,6 +207,22 @@ class CloudMirrorPlacer:
         external_demand = self._external_demand(tag)
         best_fit = self.subtree_choice == "best-fit"
         size = tag.size
+        index = self._index
+        if index is not None:
+            if external_demand.out == 0.0 and external_demand.into == 0.0:
+                accept = None
+            else:
+                available = self._root_path_available_id
+
+                def accept(node_id: int) -> bool:
+                    return available(node_id, external_demand)
+
+            pick = index.best_fit if best_fit else index.most_free
+            for level in range(min_level, self.topology.num_levels):
+                node_id = pick(level, size, accept)
+                if node_id is not None:
+                    return self._flat.node_of[node_id]
+            return None
         free_slots_id = self.ledger.free_slots_id
         for level in range(min_level, self.topology.num_levels):
             best: Node | None = None
@@ -233,8 +253,11 @@ class CloudMirrorPlacer:
     def _root_path_available(self, node: Node, demand) -> bool:
         if demand.out == 0.0 and demand.into == 0.0:
             return True
+        return self._root_path_available_id(node.node_id, demand)
+
+    def _root_path_available_id(self, node_id: int, demand) -> bool:
         ledger = self.ledger
-        for hop_id in self._flat.path_up[node.node_id]:
+        for hop_id in self._flat.path_up[node_id]:
             if (
                 ledger.available_up_id(hop_id) < demand.out
                 or ledger.available_down_id(hop_id) < demand.into
@@ -279,7 +302,8 @@ class CloudMirrorPlacer:
         ceiling: Node,
     ) -> None:
         """Place VMs straight onto one server, respecting slots and Eq. 7."""
-        free = server.slots - self.ledger.used_slots(server)
+        server_id = server.node_id
+        free = self._flat.slots[server_id] - self.ledger.used_slots_id(server_id)
         order = sorted(
             want,
             key=lambda t: max(allocation.tag.per_vm_demand(t)),
@@ -386,10 +410,11 @@ class CloudMirrorPlacer:
         (Fig. 6) — unless nothing else remains.
         """
         tag = allocation.tag
+        free_slots_id = self.ledger.free_slots_id
         children = [
             c
             for c in subtree.children
-            if c.node_id not in excluded and self.ledger.free_slots(c) > 0
+            if c.node_id not in excluded and free_slots_id(c.node_id) > 0
         ]
         if not children:
             return None
@@ -565,17 +590,22 @@ class CloudMirrorPlacer:
         ceiling: Node,
     ) -> None:
         """Sequentially pack children by free slots (no balancing)."""
+        flat = self._flat
+        free_slots_id = self.ledger.free_slots_id
+        child_ids = flat.children_ids[subtree.node_id]
         excluded: set[int] = set()
         while want:
-            children = [
-                c
-                for c in subtree.children
-                if c.node_id not in excluded and self.ledger.free_slots(c) > 0
+            candidates = [
+                child_id
+                for child_id in child_ids
+                if child_id not in excluded and free_slots_id(child_id) > 0
             ]
-            if not children:
+            if not candidates:
                 return
-            child = max(children, key=self.ledger.free_slots)
-            budget = self.ledger.free_slots(child)
+            # max() keeps the first maximal id, matching the Node walk.
+            child_id = max(candidates, key=free_slots_id)
+            child = flat.node_of[child_id]
+            budget = free_slots_id(child_id)
             request: dict[str, int] = {}
             for tier, left in want.items():
                 if budget <= 0:
@@ -655,10 +685,11 @@ class CloudMirrorPlacer:
         common metric.  In ``spread_mode`` (§4.5 opportunistic HA) it
         returns a single VM for the emptiest child instead.
         """
+        free_slots_id = self.ledger.free_slots_id
         children = [
             c
             for c in subtree.children
-            if c.node_id not in excluded and self.ledger.free_slots(c) > 0
+            if c.node_id not in excluded and free_slots_id(c.node_id) > 0
         ]
         if not children:
             return None
@@ -810,5 +841,6 @@ class CloudMirrorPlacer:
         ]
         if not eligible:
             return None
-        child = max(eligible, key=self.ledger.free_slots)
+        free_slots_id = self.ledger.free_slots_id
+        child = max(eligible, key=lambda c: free_slots_id(c.node_id))
         return child, {tier: 1}

@@ -36,10 +36,19 @@ __all__ = ["OktopusPlacer"]
 class OktopusPlacer:
     """Places tenants by converting their TAG to a generalized VOC."""
 
-    def __init__(self, ledger: Ledger, *, ha: HaPolicy | None = None) -> None:
+    def __init__(
+        self,
+        ledger: Ledger,
+        *,
+        ha: HaPolicy | None = None,
+        use_candidate_index: bool = True,
+    ) -> None:
         self.ledger = ledger
         self.topology = ledger.topology
         self.ha = ha or HaPolicy()
+        # Incrementally-maintained subtree candidate order; ``False``
+        # falls back to the full per-level scan (the lockstep baseline).
+        self._index = ledger.ensure_candidate_index() if use_candidate_index else None
 
     def place(self, tag: Tag) -> PlacementResult:
         if tag.size > self.ledger.free_slots(self.topology.root):
@@ -62,6 +71,13 @@ class OktopusPlacer:
     def _find_lowest_subtree(self, tag: Tag, min_level: int = 0) -> Node | None:
         """Lowest-level best-fit subtree with enough aggregate free slots."""
         size = tag.size
+        index = self._index
+        if index is not None:
+            for level in range(min_level, self.topology.num_levels):
+                node_id = index.best_fit(level, size)
+                if node_id is not None:
+                    return self.ledger.flat.node_of[node_id]
+            return None
         free_slots_id = self.ledger.free_slots_id
         for level in range(min_level, self.topology.num_levels):
             best: Node | None = None
@@ -120,8 +136,11 @@ class OktopusPlacer:
         decreasing free-slot order under the hose feasibility constraint.
         Returns the number of VMs placed.
         """
+        ledger = self.ledger
+        flat = ledger.flat
         if node.is_server:
-            free = node.slots - self.ledger.used_slots(node)
+            node_id = node.node_id
+            free = flat.slots[node_id] - ledger.used_slots_id(node_id)
             cap = tier_cap_left(self.ha, allocation, node, cluster.name)
             count = min(want, free, cap)
             if count <= 0:
@@ -130,10 +149,16 @@ class OktopusPlacer:
                 return 0
             return count
         placed = 0
-        ledger = self.ledger
-        children = sorted(
-            node.children, key=ledger.free_slots, reverse=True
-        )
+        # Id-keyed sort (stable, so free-slot ties keep child order).
+        node_of = flat.node_of
+        children = [
+            node_of[child_id]
+            for child_id in sorted(
+                flat.children_ids[node.node_id],
+                key=ledger.free_slots_id,
+                reverse=True,
+            )
+        ]
         # The whole-remainder filter dedups children in identical
         # reservation states (same free slots, same cluster count, same
         # availability): the hose-feasibility answer is a function of
@@ -159,7 +184,8 @@ class OktopusPlacer:
             if self._hose_feasible(allocation, cluster, child, want):
                 whole.append(child)
         if whole:
-            target = min(whole, key=ledger.free_slots)
+            free_slots_id = ledger.free_slots_id
+            target = min(whole, key=lambda c: free_slots_id(c.node_id))
             children = [target] + [c for c in children if c is not target]
         # Children are attempted in order with state mutating only when
         # VMs land.  ``_max_feasible`` is a function of the same class

@@ -89,10 +89,17 @@ class PipeAllocation:
 class SecondNetPlacer:
     """Greedy pipe-model placement with per-pipe path reservations."""
 
-    def __init__(self, ledger: Ledger) -> None:
+    def __init__(self, ledger: Ledger, *, use_candidate_index: bool = True) -> None:
         self.ledger = ledger
         self.topology = ledger.topology
         self._flat = ledger.flat
+        # Maintained per-rack server candidate order; ``False`` falls
+        # back to the per-VM rebuild+sort (the lockstep baseline).
+        if use_candidate_index:
+            self._index = ledger.ensure_candidate_index()
+            self._index.track_racks()
+        else:
+            self._index = None
 
     def place(self, tag: Tag) -> PlacementResult:
         pipes = pipes_from_tag(tag)
@@ -151,6 +158,15 @@ class SecondNetPlacer:
             for p, bw, out in peers
             if p in allocation.vm_server
         ]
+        ledger = self.ledger
+        # Servers hosting a placed peer skip that peer's pipes in the
+        # feasibility check, so they are never equivalent to servers
+        # that don't; map each such server to its hosted peer indices.
+        hosted: dict[int, list[int]] = {}
+        for index, (peer_server, _, _) in enumerate(placed_peers):
+            hosted.setdefault(peer_server.node_id, []).append(index)
+        if self._index is not None:
+            return self._best_server_indexed(placed_peers, vm_demand, headroom, hosted)
         racks = sorted(
             (
                 rack
@@ -159,13 +175,6 @@ class SecondNetPlacer:
             ),
             key=lambda rack: self._rack_cost(rack, placed_peers),
         )
-        ledger = self.ledger
-        # Servers hosting a placed peer skip that peer's pipes in the
-        # feasibility check, so they are never equivalent to servers
-        # that don't; map each such server to its hosted peer indices.
-        hosted: dict[int, list[int]] = {}
-        for index, (peer_server, _, _) in enumerate(placed_peers):
-            hosted.setdefault(peer_server.node_id, []).append(index)
         for rack in racks:
             candidates = [
                 s
@@ -177,28 +186,108 @@ class SecondNetPlacer:
             # Fullest-first packs servers tightly, like SecondNet's
             # cluster-then-server refinement.
             candidates.sort(key=ledger.used_slots, reverse=True)
-            # Within one rack, two servers with equal uplink availability
-            # and the same hosted-peer set share every pipe path except
-            # their own uplink, so infeasibility transfers between them:
-            # test one member per class, fail the whole class.
-            infeasible: set = set()
-            for server in candidates:
-                server_id = server.node_id
-                left = headroom.get(
-                    server_id, [server.nominal_up, server.nominal_down]
-                )
-                if vm_demand[0] > left[0] or vm_demand[1] > left[1]:
-                    continue
-                key = (
-                    ledger.available_up_id(server_id),
-                    ledger.available_down_id(server_id),
-                    tuple(hosted.get(server_id, ())),
-                )
-                if key in infeasible:
-                    continue
-                if self._feasible(server, placed_peers):
-                    return server
-                infeasible.add(key)
+            found = self._first_feasible(
+                candidates, placed_peers, vm_demand, headroom, hosted
+            )
+            if found is not None:
+                return found
+        return None
+
+    def _best_server_indexed(
+        self,
+        placed_peers: list[tuple[Node, float, bool]],
+        vm_demand: tuple[float, float],
+        headroom: dict[int, list[float]],
+        hosted: dict[int, list[int]],
+    ) -> Node | None:
+        """:meth:`_best_server` over the maintained candidate index.
+
+        Two changes, both bit-identical to the scan: the per-rack server
+        order comes pre-maintained from the index instead of a per-VM
+        rebuild+sort, and the rack costs are computed once per
+        equivalence class — racks in the same pod hosting no placed peer
+        accumulate the exact same per-peer float sum (every term takes
+        the same pod/other branch in the same order), and racks hosting
+        a peer are their own class — then assigned by lookup.
+        """
+        ledger = self.ledger
+        flat = self._flat
+        parent = flat.parent
+        node_of = flat.node_of
+        index = self._index
+        peer_rack_ids = {parent[server.node_id] for server, _, _ in placed_peers}
+        cost_of: dict[tuple[int, int], float] = {}
+
+        def rack_key(rack: Node) -> float:
+            rack_id = rack.node_id
+            klass = (
+                parent[rack_id],
+                rack_id if rack_id in peer_rack_ids else -1,
+            )
+            cost = cost_of.get(klass)
+            if cost is None:
+                cost = self._rack_cost(rack, placed_peers)
+                cost_of[klass] = cost
+            return cost
+
+        free_slots_id = ledger.free_slots_id
+        racks = sorted(
+            (
+                rack
+                for rack in self.topology.level_nodes(1)
+                if free_slots_id(rack.node_id) > 0
+            ),
+            key=rack_key,
+        )
+        for rack in racks:
+            entries = index.rack_candidates(rack.node_id)
+            if not entries:
+                continue
+            found = self._first_feasible(
+                (node_of[server_id] for _, _, server_id in entries),
+                placed_peers,
+                vm_demand,
+                headroom,
+                hosted,
+            )
+            if found is not None:
+                return found
+        return None
+
+    def _first_feasible(
+        self,
+        candidates,
+        placed_peers: list[tuple[Node, float, bool]],
+        vm_demand: tuple[float, float],
+        headroom: dict[int, list[float]],
+        hosted: dict[int, list[int]],
+    ) -> Node | None:
+        """First feasible server of one rack's candidate order.
+
+        Within one rack, two servers with equal uplink availability and
+        the same hosted-peer set share every pipe path except their own
+        uplink, so infeasibility transfers between them: test one member
+        per class, fail the whole class.
+        """
+        ledger = self.ledger
+        infeasible: set = set()
+        for server in candidates:
+            server_id = server.node_id
+            left = headroom.get(
+                server_id, [server.nominal_up, server.nominal_down]
+            )
+            if vm_demand[0] > left[0] or vm_demand[1] > left[1]:
+                continue
+            key = (
+                ledger.available_up_id(server_id),
+                ledger.available_down_id(server_id),
+                tuple(hosted.get(server_id, ())),
+            )
+            if key in infeasible:
+                continue
+            if self._feasible(server, placed_peers):
+                return server
+            infeasible.add(key)
         return None
 
     def _rack_cost(

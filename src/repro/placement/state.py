@@ -312,13 +312,25 @@ class TenantAllocation:
                 yield node_id, live
 
     def tier_spread(self, tier: str, level: int) -> dict[int, int]:
-        """Per-fault-domain VM counts of ``tier`` at ``level`` (WCS input)."""
-        spread: dict[int, int] = {}
-        for node in self.ledger.topology.level_nodes(level):
-            count = self.count_id(node.node_id, tier)
-            if count:
-                spread[node.node_id] = count
-        return spread
+        """Per-fault-domain VM counts of ``tier`` at ``level`` (WCS input).
+
+        Walks only the nodes this allocation touched (``_counts`` holds
+        nothing else) instead of every node at the level — the WCS
+        sampler calls this after every admission, and a tenant touches a
+        handful of fault domains in a datacenter of thousands.  Output
+        is keyed in ascending node-id order for determinism; the WCS
+        computation itself is order-insensitive (integer max/sum).
+        """
+        if not 0 <= level < self._flat.num_levels:
+            raise ReproError(f"no tree level {level}")
+        node_level = self._flat.level
+        found = [
+            (node_id, count)
+            for node_id, counts in self._counts.items()
+            if node_level[node_id] == level and (count := counts.get(tier, 0))
+        ]
+        found.sort()
+        return dict(found)
 
     # ------------------------------------------------------------------
     # savepoints

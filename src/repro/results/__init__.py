@@ -53,12 +53,21 @@ from repro.results.present import (
 )
 from repro.results.sharding import ShardSpec, parse_shard
 from repro.results.store import ResultStore, StoredRow
+from repro.results.trajectory import (
+    BENCH_KIND,
+    RegressionFlag,
+    check_trajectory,
+    ingest_report,
+    trajectory_rows,
+)
 
 __all__ = [
     "Aggregate",
+    "BENCH_KIND",
     "Codec",
     "EXPORT_FORMATS",
     "MetricSample",
+    "RegressionFlag",
     "ResultStore",
     "ShardSpec",
     "StoredRow",
@@ -67,16 +76,19 @@ __all__ = [
     "aggregate_table",
     "bootstrap_ci",
     "canonical_trial",
+    "check_trajectory",
     "codec_for",
     "codec_names",
     "codec_version",
     "export_rows",
     "export_store",
+    "ingest_report",
     "parse_shard",
     "register_codec",
     "samples_from_results",
     "samples_from_store",
     "seed_replicated_summary",
     "store_summary_table",
+    "trajectory_rows",
     "trial_fingerprint",
 ]

@@ -113,7 +113,10 @@ def _gc(args: argparse.Namespace) -> int:
     with _open_existing(args.store) as store:
         removed = store.gc()
         remaining = len(store)
+        freed = store.vacuum() if args.vacuum else None
     print(f"removed {removed} stale rows; {remaining} remain")
+    if freed is not None:
+        print(f"vacuum reclaimed {freed} bytes")
     return 0
 
 
@@ -168,6 +171,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     gc_cmd = commands.add_parser("gc", help="drop rows with stale codecs")
     gc_cmd.add_argument("store", help="path to a results store")
+    gc_cmd.add_argument(
+        "--vacuum",
+        action="store_true",
+        help="also rebuild the file so freed pages return to the filesystem",
+    )
     gc_cmd.set_defaults(handler=_gc)
 
     return parser

@@ -185,6 +185,57 @@ class ResultStore:
             )
         return fingerprint
 
+    def record_payload(
+        self,
+        *,
+        fingerprint: str,
+        kind: str,
+        scenario: str,
+        payload: Any,
+        variant: str = "-",
+        topology: str = "-",
+        load: float = 0.0,
+        bmax: float = 0.0,
+        seed: int = 0,
+        x: Any = None,
+        arrivals: int = 0,
+        elapsed: float = 0.0,
+    ) -> bool:
+        """Persist one non-trial row (e.g. a bench report); True if new.
+
+        The trajectory layer uses this for rows whose identity is a
+        content hash rather than a trial fingerprint.  Re-recording an
+        existing fingerprint refreshes ``created`` (the ingest clock the
+        trajectory orders by) and counts as not-new.
+        """
+        codec = codec_for(kind)
+        connection = self._connect()
+        with connection:
+            existed = connection.execute(
+                "SELECT 1 FROM results WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
+            connection.execute(
+                f"INSERT OR REPLACE INTO results ({_COLUMNS}) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    fingerprint,
+                    kind,
+                    codec.version,
+                    scenario,
+                    variant,
+                    topology,
+                    load,
+                    bmax,
+                    seed,
+                    json.dumps(x),
+                    arrivals,
+                    elapsed,
+                    time.time(),
+                    codec.encode(payload),
+                ),
+            )
+        return existed is None
+
     # -- query layer ----------------------------------------------------
     def __len__(self) -> int:
         return self._connect().execute("SELECT COUNT(*) FROM results").fetchone()[0]
@@ -279,3 +330,17 @@ class ResultStore:
                 )
                 removed += cursor.rowcount
         return removed
+
+    def vacuum(self) -> int:
+        """Rebuild the database file, returning the bytes reclaimed.
+
+        ``gc`` only marks pages free inside the file; ``VACUUM`` gives
+        the space back to the filesystem.  Must run outside any open
+        transaction, hence the explicit commit first.
+        """
+        connection = self._connect()
+        connection.commit()
+        before = self.path.stat().st_size
+        connection.execute("VACUUM")
+        connection.commit()
+        return max(0, before - self.path.stat().st_size)

@@ -1,0 +1,233 @@
+"""Bench trajectory store: persist smoke-bench reports, flag regressions.
+
+The CI smoke-bench jobs each write one ``BENCH_*.json`` report per run
+and upload it as a build artifact — a point-in-time snapshot with no
+history.  ``repro bench track`` folds those reports into a results store
+(kind ``"bench"``, reusing the store's codec/fingerprint machinery) so
+successive runs accumulate into a *trajectory*, and ``--check`` compares
+the newest point of each benchmark against the trailing median of its
+history, flagging any throughput figure that dropped by more than the
+threshold (default 20%).
+
+Identity is a content hash of the canonical payload JSON, so
+re-ingesting the same report file is idempotent (the row's ingest
+timestamp refreshes; no duplicate appears).  Only ratio metrics are
+tracked — the ``bench`` codec's extractor picks ``*speedup*`` /
+``*_per_sec`` leaves and ignores raw millisecond timings, which shift
+with the runner and would drown the signal.  Shared CI runners are
+noisy, so the check is report-only by default; ``--fail-on-regression``
+turns flags into a non-zero exit for quiet dedicated hardware.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+
+from repro.errors import ReproError, ResultsError
+from repro.results.codecs import codec_for
+from repro.results.store import ResultStore, StoredRow
+
+__all__ = [
+    "BENCH_KIND",
+    "RegressionFlag",
+    "bench_main",
+    "check_trajectory",
+    "ingest_report",
+    "trajectory_rows",
+]
+
+BENCH_KIND = "bench"
+DEFAULT_WINDOW = 8
+DEFAULT_THRESHOLD = 0.2
+
+
+def _report_fingerprint(payload: dict) -> str:
+    codec = codec_for(BENCH_KIND)
+    document = f"bench:{codec.version}:{codec.encode(payload)}"
+    return hashlib.sha256(document.encode()).hexdigest()
+
+
+def ingest_report(store: ResultStore, payload: dict) -> tuple[str, bool]:
+    """Fold one smoke-bench report dict into the store.
+
+    Returns ``(fingerprint, added)`` where ``added`` is False when the
+    identical report was already present (its ingest time refreshes).
+    """
+    if not isinstance(payload, dict) or "benchmark" not in payload:
+        raise ResultsError(
+            "not a smoke-bench report: expected a JSON object with a "
+            "'benchmark' key"
+        )
+    fingerprint = _report_fingerprint(payload)
+    added = store.record_payload(
+        fingerprint=fingerprint,
+        kind=BENCH_KIND,
+        scenario=str(payload["benchmark"]),
+        variant=str(payload.get("scenario", "-")),
+        topology=f"pods={payload['pods']}" if "pods" in payload else "-",
+        payload=payload,
+    )
+    return fingerprint, added
+
+
+def trajectory_rows(
+    store: ResultStore, benchmark: str | None = None
+) -> dict[str, list[StoredRow]]:
+    """Stored bench points per benchmark name, oldest first."""
+    series: dict[str, list[StoredRow]] = {}
+    for row in store.rows(kind=BENCH_KIND):
+        if benchmark is not None and row.scenario != benchmark:
+            continue
+        series.setdefault(row.scenario, []).append(row)
+    for rows in series.values():
+        rows.sort(key=lambda row: (row.created, row.fingerprint))
+    return series
+
+
+@dataclass(frozen=True)
+class RegressionFlag:
+    """One throughput figure that fell >threshold below its history."""
+
+    benchmark: str
+    metric: str
+    latest: float
+    trailing_median: float
+    history: int
+
+    @property
+    def drop(self) -> float:
+        return 1.0 - self.latest / self.trailing_median
+
+    def describe(self) -> str:
+        return (
+            f"REGRESSION {self.benchmark}: {self.metric} dropped "
+            f"{self.drop:.0%} ({self.latest:g} vs trailing median "
+            f"{self.trailing_median:g} over {self.history} point(s))"
+        )
+
+
+def check_trajectory(
+    store: ResultStore,
+    *,
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[RegressionFlag]:
+    """Newest point of each benchmark vs the trailing median of its history.
+
+    A benchmark with fewer than two stored points has no history to
+    regress against and is skipped.  Metrics missing from the history
+    (a newly-added figure) are likewise skipped.
+    """
+    flags: list[RegressionFlag] = []
+    for benchmark, rows in sorted(trajectory_rows(store).items()):
+        if len(rows) < 2:
+            continue
+        latest = rows[-1]
+        trailing = rows[-(window + 1):-1]
+        for metric, value in sorted(latest.metrics().items()):
+            history = [
+                m[metric]
+                for row in trailing
+                if metric in (m := row.metrics())
+            ]
+            if not history:
+                continue
+            baseline = median(history)
+            if baseline > 0 and value < baseline * (1.0 - threshold):
+                flags.append(
+                    RegressionFlag(
+                        benchmark, metric, value, baseline, len(history)
+                    )
+                )
+    return flags
+
+
+# ----------------------------------------------------------------------
+# CLI: ``repro bench track``
+# ----------------------------------------------------------------------
+
+
+def _track(args: argparse.Namespace) -> int:
+    with ResultStore(args.store) as store:
+        added = refreshed = 0
+        for path in args.reports:
+            try:
+                payload = json.loads(Path(path).read_text())
+            except (OSError, ValueError) as error:
+                raise ResultsError(f"cannot read report {path!r}: {error}")
+            _, was_new = ingest_report(store, payload)
+            print(
+                f"{'recorded' if was_new else 'refreshed'} "
+                f"{payload['benchmark']} from {path}"
+            )
+            added += was_new
+            refreshed += not was_new
+        print(f"{added} new point(s), {refreshed} refreshed in {args.store}")
+        if not args.check:
+            return 0
+        flags = check_trajectory(
+            store, window=args.window, threshold=args.threshold
+        )
+        points = sum(len(rows) for rows in trajectory_rows(store).values())
+    for flag in flags:
+        print(flag.describe())
+    if not flags:
+        print(
+            f"no regressions >{args.threshold:.0%} across {points} stored "
+            f"point(s)"
+        )
+        return 0
+    return 1 if args.fail_on_regression else 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description="benchmark trajectory tracking"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    track = commands.add_parser(
+        "track", help="ingest BENCH_*.json reports; optionally check"
+    )
+    track.add_argument("store", help="trajectory store path (created if absent)")
+    track.add_argument(
+        "reports", nargs="+", help="smoke-bench report files (BENCH_*.json)"
+    )
+    track.add_argument(
+        "--check",
+        action="store_true",
+        help="compare each benchmark's newest point to its trailing median",
+    )
+    track.add_argument(
+        "--window",
+        type=int,
+        default=DEFAULT_WINDOW,
+        help=f"trailing points forming the baseline (default {DEFAULT_WINDOW})",
+    )
+    track.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="fractional drop that counts as a regression (default 0.2)",
+    )
+    track.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when --check flags a regression (off on noisy "
+        "shared runners: the printed report is the deliverable there)",
+    )
+    track.set_defaults(handler=_track)
+    return parser
+
+
+def bench_main(argv: list[str]) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}")
+        return 1

@@ -42,11 +42,13 @@ class ClusterManager:
         *,
         laa_level: int = 0,
         collect_wcs: bool = True,
+        collect_utilization: bool = True,
     ) -> None:
         self.ledger = ledger
         self.placer = placer
         self.laa_level = laa_level
         self.collect_wcs = collect_wcs
+        self.collect_utilization = collect_utilization
         self.metrics = RunMetrics()
         # Keyed by object identity so departures are O(1) instead of an
         # O(n) list scan — long arrival/departure runs used to go
@@ -83,6 +85,11 @@ class ClusterManager:
         del self._active[id(allocation)]
 
     def _sample_utilization(self) -> None:
+        # The bandwidth sample walks every finite-capacity server, which
+        # dominates placement itself on large topologies; benchmarks that
+        # only care about placement throughput switch it off.
+        if not self.collect_utilization:
+            return
         topology = self.ledger.topology
         total_slots = topology.total_slots
         slot_fraction = 1.0 - self.ledger.free_slots(topology.root) / total_slots

@@ -53,23 +53,39 @@ PLACER_NAMES = (
 )
 
 
-def make_placer(name: str, ledger: Ledger, ha: HaPolicy | None = None):
+def make_placer(
+    name: str,
+    ledger: Ledger,
+    ha: HaPolicy | None = None,
+    *,
+    use_candidate_index: bool = True,
+):
     """Placer factory used by experiments and the CLI.
 
     ``cm-coloc-only`` and ``cm-balance-only`` are the Fig. 10 ablations.
+    ``use_candidate_index=False`` selects the index-free candidate scan
+    (bit-identical placements; the lockstep tests and the candidate-cache
+    benchmark compare the two paths).
     """
     if name == "cm":
-        return CloudMirrorPlacer(ledger, ha=ha)
+        return CloudMirrorPlacer(ledger, ha=ha, use_candidate_index=use_candidate_index)
     if name == "cm-coloc-only":
-        return CloudMirrorPlacer(ledger, enable_balance=False, ha=ha)
+        return CloudMirrorPlacer(
+            ledger, enable_balance=False, ha=ha, use_candidate_index=use_candidate_index
+        )
     if name == "cm-balance-only":
-        return CloudMirrorPlacer(ledger, enable_colocate=False, ha=ha)
+        return CloudMirrorPlacer(
+            ledger,
+            enable_colocate=False,
+            ha=ha,
+            use_candidate_index=use_candidate_index,
+        )
     if name == "ovoc":
-        return OktopusPlacer(ledger, ha=ha)
+        return OktopusPlacer(ledger, ha=ha, use_candidate_index=use_candidate_index)
     if name == "secondnet":
         if ha is not None and (ha.guarantees_wcs or ha.opportunistic):
             raise SimulationError("the SecondNet baseline does not support HA")
-        return SecondNetPlacer(ledger)
+        return SecondNetPlacer(ledger, use_candidate_index=use_candidate_index)
     raise SimulationError(f"unknown placer {name!r}; options: {PLACER_NAMES}")
 
 

@@ -416,12 +416,23 @@ class TemporalAdmission:
 class TemporalCluster:
     """CloudMirror admission over W per-window bandwidth planes."""
 
-    def __init__(self, spec: DatacenterSpec, windows: int) -> None:
+    def __init__(
+        self,
+        spec: DatacenterSpec,
+        windows: int,
+        *,
+        use_candidate_index: bool = True,
+    ) -> None:
         self.spec = spec
         self.windows = windows
         self.topology: Topology = three_level_tree(spec)
         self.ledger = TemporalLedger(self.topology, windows)
-        self.placer = CloudMirrorPlacer(self.ledger)  # type: ignore[arg-type]
+        # The candidate index attaches to the temporal ledger the same
+        # way it does to the classic one: slots are plane-invariant, so
+        # admissions and departures across windows share one index.
+        self.placer = CloudMirrorPlacer(  # type: ignore[arg-type]
+            self.ledger, use_candidate_index=use_candidate_index
+        )
         self._admitted: dict[int, TemporalAdmission] = {}
         self.rejected = 0
 

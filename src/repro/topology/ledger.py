@@ -73,7 +73,25 @@ class SlotAccountingMixin:
     tuples), ``self._used_slots`` and ``self._free_subtree`` (both
     id-indexed lists), and a rollback that undoes ``(OP_SLOTS,
     server_id, count)`` journal records via :meth:`_apply_slots`.
+
+    An optional :class:`repro.placement.candidates.CandidateIndex` can
+    attach via :meth:`ensure_candidate_index`; once attached, every slot
+    mutation (reserve, release and rollback all funnel through
+    :meth:`_apply_slots`) marks the touched server's root-path dirty so
+    the index re-scores exactly those nodes on its next lookup.
     """
+
+    # One shared attachment point: ``None`` (the class default) keeps
+    # the un-indexed fast path to a single identity test per mutation.
+    _candidate_index = None
+
+    def ensure_candidate_index(self):
+        """The ledger's attached candidate index, created on first use."""
+        if self._candidate_index is None:
+            from repro.placement.candidates import CandidateIndex
+
+            self._candidate_index = CandidateIndex(self)
+        return self._candidate_index
 
     # ------------------------------------------------------------------
     # queries
@@ -120,8 +138,12 @@ class SlotAccountingMixin:
     def _apply_slots(self, server_id: int, count: int) -> None:
         self._used_slots[server_id] += count
         free = self._free_subtree
-        for node_id in self.flat.ancestors[server_id]:
+        ancestors = self.flat.ancestors[server_id]
+        for node_id in ancestors:
             free[node_id] -= count
+        index = self._candidate_index
+        if index is not None:
+            index.touch_path(ancestors)
 
 
 class Ledger(SlotAccountingMixin):

@@ -100,6 +100,7 @@ class Topology:
         self._servers: list[Node] = []
         self._levels: dict[int, list[Node]] = {}
         self._flat = None
+        self._total_slots: int | None = None
         stack = [root]
         while stack:
             node = stack.pop()
@@ -155,7 +156,11 @@ class Topology:
 
     @property
     def total_slots(self) -> int:
-        return sum(server.slots for server in self._servers)
+        # Cached: the topology is immutable and the utilization sampler
+        # reads this after every admission.
+        if self._total_slots is None:
+            self._total_slots = sum(server.slots for server in self._servers)
+        return self._total_slots
 
     def node(self, node_id: int) -> Node:
         try:

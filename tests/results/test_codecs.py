@@ -69,6 +69,14 @@ def _survey_payload():
     return execute_trial(_trial("survey")).payload
 
 
+def _bench_payload():
+    return {
+        "benchmark": "codec-test",
+        "rows": [{"vms": 100, "speedup": 3.1}],
+        "largest_size_speedup": 3.1,
+    }
+
+
 def _temporal_payload():
     return {
         "windows": 4,
@@ -87,12 +95,16 @@ PAYLOAD_FACTORIES = {
     "hose_fail": _hose_fail_payload,
     "survey": _survey_payload,
     "temporal": _temporal_payload,
+    "bench": _bench_payload,
 }
 
 
 def test_every_runner_kind_has_a_codec_and_a_roundtrip_case():
-    assert set(codec_names()) == set(RUNNERS)
-    assert set(PAYLOAD_FACTORIES) == set(RUNNERS)
+    # "bench" is not a runner kind: it holds smoke-bench trajectory
+    # points (repro bench track), but it must still round-trip like any
+    # other codec so `repro results gc` never reaps its rows.
+    assert set(codec_names()) == set(RUNNERS) | {"bench"}
+    assert set(PAYLOAD_FACTORIES) == set(codec_names())
 
 
 @pytest.mark.parametrize("kind", sorted(PAYLOAD_FACTORIES))

@@ -1,0 +1,211 @@
+"""Tests for the bench trajectory store and ``repro bench track``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.errors import ResultsError
+from repro.results.codecs import codec_for
+from repro.results.store import ResultStore
+from repro.results.trajectory import (
+    BENCH_KIND,
+    check_trajectory,
+    ingest_report,
+    trajectory_rows,
+)
+
+
+def report(speedup: float, *, benchmark: str = "synthetic", run: int = 0) -> dict:
+    """A minimal smoke-bench report; ``run`` varies the content hash."""
+    return {
+        "benchmark": benchmark,
+        "scenario": "unit",
+        "pods": 2,
+        "run": run,
+        "largest_size_speedup": speedup,
+        "old_ms": 100.0,
+        "new_ms": 100.0 / speedup,
+    }
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ResultStore(tmp_path / "traj.sqlite") as store:
+        yield store
+
+
+class TestIngest:
+    def test_round_trip(self, store):
+        fingerprint, added = ingest_report(store, report(4.0))
+        assert added
+        rows = trajectory_rows(store)["synthetic"]
+        assert len(rows) == 1
+        assert rows[0].fingerprint == fingerprint
+        assert rows[0].payload()["largest_size_speedup"] == 4.0
+
+    def test_reingest_is_idempotent(self, store):
+        first, added_first = ingest_report(store, report(4.0))
+        second, added_second = ingest_report(store, report(4.0))
+        assert first == second
+        assert added_first and not added_second
+        assert len(trajectory_rows(store)["synthetic"]) == 1
+
+    def test_rejects_non_reports(self, store):
+        with pytest.raises(ResultsError):
+            ingest_report(store, {"rows": []})
+
+    def test_gc_keeps_bench_rows(self, store):
+        # The bench codec is registered globally, so a plain
+        # ``repro results gc`` must never reap trajectory points.
+        ingest_report(store, report(4.0))
+        assert store.gc() == 0
+        assert len(store) == 1
+
+
+class TestMetricsExtraction:
+    def test_speedups_kept_timings_dropped(self):
+        metrics = codec_for(BENCH_KIND).metrics(report(4.0))
+        assert metrics == {"largest_size_speedup": 4.0}
+
+    def test_nested_dicts_flatten_with_dotted_names(self):
+        payload = {
+            "benchmark": "nested",
+            "temporal": {
+                "ledger_speedup_at_largest": 3.7,
+                "rows": [{"ledger_speedup": 1.8}],  # per-size rows skipped
+                "old_ms": 620.0,
+            },
+            "ingest_per_sec": 5000.0,
+        }
+        metrics = codec_for(BENCH_KIND).metrics(payload)
+        assert metrics == {
+            "temporal.ledger_speedup_at_largest": 3.7,
+            "ingest_per_sec": 5000.0,
+        }
+
+
+class TestCheck:
+    def seed_history(self, store, speedups, benchmark="synthetic"):
+        for run, speedup in enumerate(speedups):
+            ingest_report(store, report(speedup, benchmark=benchmark, run=run))
+
+    def test_quarter_regression_is_flagged(self, store):
+        self.seed_history(store, [4.0, 4.1, 3.9, 4.0])
+        ingest_report(store, report(3.0, run=99))  # 25% below median 4.0
+        flags = check_trajectory(store)
+        assert len(flags) == 1
+        flag = flags[0]
+        assert flag.benchmark == "synthetic"
+        assert flag.metric == "largest_size_speedup"
+        assert flag.latest == 3.0
+        assert flag.trailing_median == 4.0
+        assert flag.drop == pytest.approx(0.25)
+        assert "25%" in flag.describe()
+
+    def test_small_dip_is_not_flagged(self, store):
+        self.seed_history(store, [4.0, 4.1, 3.9, 4.0])
+        ingest_report(store, report(3.6, run=99))  # 10% below median
+        assert check_trajectory(store) == []
+
+    def test_improvement_is_not_flagged(self, store):
+        self.seed_history(store, [4.0, 4.1, 3.9])
+        ingest_report(store, report(6.0, run=99))
+        assert check_trajectory(store) == []
+
+    def test_single_point_has_no_history(self, store):
+        ingest_report(store, report(1.0))
+        assert check_trajectory(store) == []
+
+    def test_window_limits_the_baseline(self, store):
+        # Ancient fast points outside the window must not set the bar.
+        self.seed_history(store, [8.0, 8.0, 8.0, 4.0, 4.1, 3.9])
+        ingest_report(store, report(3.8, run=99))
+        assert check_trajectory(store, window=3) == []
+        assert check_trajectory(store, window=6) != []
+
+    def test_new_metric_without_history_skipped(self, store):
+        self.seed_history(store, [4.0, 4.0])
+        latest = report(4.0, run=99)
+        latest["churn_speedup"] = 0.1  # no prior points carry this key
+        ingest_report(store, latest)
+        assert check_trajectory(store) == []
+
+    def test_benchmarks_checked_independently(self, store):
+        self.seed_history(store, [4.0, 4.0], benchmark="steady")
+        ingest_report(store, report(4.0, benchmark="steady", run=99))
+        self.seed_history(store, [4.0, 4.0], benchmark="fell")
+        ingest_report(store, report(2.0, benchmark="fell", run=99))
+        flags = check_trajectory(store)
+        assert [flag.benchmark for flag in flags] == ["fell"]
+
+
+class TestCli:
+    def write_report(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_track_ingests_all_existing_bench_reports(self, tmp_path, capsys):
+        store_path = str(tmp_path / "traj.sqlite")
+        paths = [
+            self.write_report(tmp_path, f"BENCH_{i}.json", report(4.0, run=i))
+            for i in range(3)
+        ]
+        assert repro_main(["bench", "track", store_path, *paths]) == 0
+        assert "3 new point(s)" in capsys.readouterr().out
+        with ResultStore(store_path) as store:
+            assert len(store) == 3
+
+    def test_check_is_report_only_by_default(self, tmp_path, capsys):
+        store_path = str(tmp_path / "traj.sqlite")
+        for run, speedup in enumerate([4.0, 4.0, 4.0]):
+            path = self.write_report(
+                tmp_path, f"h{run}.json", report(speedup, run=run)
+            )
+            assert repro_main(["bench", "track", store_path, path]) == 0
+        bad = self.write_report(tmp_path, "bad.json", report(3.0, run=99))
+        # The synthetic 25% regression is printed but does not gate...
+        assert repro_main(["bench", "track", store_path, bad, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION synthetic" in out
+        # ... unless the caller opts into gating.
+        assert (
+            repro_main(
+                [
+                    "bench",
+                    "track",
+                    store_path,
+                    bad,
+                    "--check",
+                    "--fail-on-regression",
+                ]
+            )
+            == 1
+        )
+
+    def test_results_gc_vacuum(self, tmp_path, capsys):
+        store_path = str(tmp_path / "traj.sqlite")
+        path = self.write_report(tmp_path, "r.json", report(4.0))
+        assert repro_main(["bench", "track", store_path, path]) == 0
+        assert repro_main(["results", "gc", store_path, "--vacuum"]) == 0
+        out = capsys.readouterr().out
+        assert "vacuum reclaimed" in out
+
+
+class TestVacuum:
+    def test_vacuum_reclaims_deleted_pages(self, tmp_path):
+        with ResultStore(tmp_path / "big.sqlite") as store:
+            blob = "x" * 4096
+            for run in range(64):
+                payload = report(4.0, run=run)
+                payload["padding"] = blob
+                ingest_report(store, payload)
+            before = store.path.stat().st_size
+            store._connect().execute("DELETE FROM results")
+            store._connect().commit()
+            freed = store.vacuum()
+            assert freed > 0
+            assert store.path.stat().st_size < before
