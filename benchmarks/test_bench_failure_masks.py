@@ -1,0 +1,166 @@
+"""Benchmark: placement throughput with and without a FailureMask.
+
+Two claims, both parity-checked before any throughput number is
+recorded in ``BENCH_failure_masks.json``:
+
+* **empty mask is free** — attaching a FailureMask swaps the ledger's
+  slot-capacity column for a mutable copy and adds one identity test to
+  the slot-mutation funnel; a loaded arrival/departure stream must place
+  bit-identically and at (near) the no-mask throughput.
+* **masking beats rebuilding** — with real failures injected, placing on
+  the masked full topology must match, by node name, a run on the
+  physically pruned topology (the differential suite's invariant, here
+  at fig04 scale), and the recorded ratio shows what the mask saves over
+  a rebuild-the-world response to every fault event.
+
+Scale knobs: ``REPRO_BENCH_FMASK_PODS`` (datacenter pods, default 8) and
+``REPRO_BENCH_FMASK_ARRIVALS`` (arrival count, default 800).  Floor:
+``REPRO_BENCH_FMASK_MIN_SPEEDUP`` (empty-mask throughput ratio, default
+0.7); set to 0 on noisy shared runners, where the JSON artifact is the
+deliverable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.simulation.arrivals import poisson_arrivals
+from repro.simulation.cluster import ClusterManager, run_arrival_departure
+from repro.simulation.runner import make_placer
+from repro.topology.builder import DatacenterSpec, three_level_tree
+from repro.topology.failures import pruned_topology
+from repro.topology.ledger import Journal, Ledger
+from repro.workloads.synthetic import synthetic_pool
+
+OUTPUT = Path("BENCH_failure_masks.json")
+
+LOAD = 0.8
+TENANT_CAP = 40  # small tenants keep the subtree search the hot path
+FAILED_NAMES = ("tor-0-1", "tor-1-0", "srv-0-0-1", "srv-0-0-7")
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _pool():
+    return [
+        tenant
+        for tenant in synthetic_pool()
+        if sum(c.size for c in tenant.internal_components()) <= TENANT_CAP
+    ]
+
+
+def _fail_by_name(ledger, names):
+    ids = {node.name: node.node_id for node in ledger.topology.nodes}
+    mask = ledger.ensure_failure_mask()
+    journal = Journal()
+    for name in names:
+        mask.fail(ids[name], journal)
+
+
+def _run(topology, arrivals, pool, *, mask_names=None):
+    """One churn run; ``mask_names=()`` attaches an *empty* mask."""
+    ledger = Ledger(topology)
+    if mask_names is not None:
+        _fail_by_name(ledger, mask_names)
+    placer = make_placer("cm", ledger)
+    manager = ClusterManager(
+        ledger, placer, collect_wcs=False, collect_utilization=False
+    )
+    started = time.perf_counter()
+    metrics = run_arrival_departure(manager, arrivals, pool)
+    elapsed = time.perf_counter() - started
+    layouts = [
+        sorted(
+            (server.name, tuple(sorted(counts.items())))
+            for server, counts in allocation.iter_server_placements()
+        )
+        for allocation in manager.active
+    ]
+    return elapsed, metrics, layouts
+
+
+def _empty_mask_rows(report: dict, topology, arrivals, pool) -> None:
+    bare_best = masked_best = float("inf")
+    for _ in range(3):
+        bare = _run(topology, arrivals, pool)
+        masked = _run(topology, arrivals, pool, mask_names=())
+        bare_metrics = bare[1].to_dict()
+        masked_metrics = masked[1].to_dict()
+        bare_metrics.pop("runtime_seconds")
+        masked_metrics.pop("runtime_seconds")
+        assert bare_metrics == masked_metrics, "empty mask: metrics diverged"
+        assert bare[2] == masked[2], "empty mask: layouts diverged"
+        bare_best = min(bare_best, bare[0])
+        masked_best = min(masked_best, masked[0])
+    ratio = round(bare_best / masked_best, 2)
+    report["empty_mask"] = {
+        "bare_ms": round(bare_best * 1e3, 1),
+        "masked_ms": round(masked_best * 1e3, 1),
+        "empty_mask_speedup": ratio,  # ~1.0: the mask must be free
+    }
+    floor = float(os.environ.get("REPRO_BENCH_FMASK_MIN_SPEEDUP", "0.7"))
+    assert ratio >= floor, f"empty-mask throughput ratio fell to {ratio:.2f}x"
+
+
+def _masked_vs_pruned_rows(report: dict, topology, arrivals, pool) -> None:
+    ids = {node.name: node.node_id for node in topology.nodes}
+    pruned = pruned_topology(topology, [ids[name] for name in FAILED_NAMES])
+    pruned.flat
+    masked_best = pruned_best = float("inf")
+    for _ in range(3):
+        masked = _run(topology, arrivals, pool, mask_names=FAILED_NAMES)
+        rebuilt = _run(pruned, arrivals, pool)
+        assert masked[2] == rebuilt[2], "masked vs pruned: layouts diverged"
+        masked_best = min(masked_best, masked[0])
+        pruned_best = min(pruned_best, rebuilt[0])
+    report["masked_vs_pruned"] = {
+        "failed": list(FAILED_NAMES),
+        "masked_ms": round(masked_best * 1e3, 1),
+        "pruned_ms": round(pruned_best * 1e3, 1),
+        # Placement-only ratio (~1.0); the rebuild cost itself is what a
+        # mask avoids, timed separately below.
+        "masked_vs_pruned_speedup": round(pruned_best / masked_best, 2),
+    }
+    # Fault-event latency: flipping the mask vs rebuilding the topology
+    # (prune + re-materialize the flat arrays) for the same failure set.
+    started = time.perf_counter()
+    rebuilt_topology = pruned_topology(
+        topology, [ids[name] for name in FAILED_NAMES]
+    )
+    rebuilt_topology.flat
+    Ledger(rebuilt_topology)
+    rebuild_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    _fail_by_name(Ledger(topology), FAILED_NAMES)
+    mask_seconds = time.perf_counter() - started
+    report["fault_event"] = {
+        "rebuild_ms": round(rebuild_seconds * 1e3, 3),
+        "mask_ms": round(mask_seconds * 1e3, 3),
+        "fault_event_speedup": round(rebuild_seconds / mask_seconds, 2),
+    }
+
+
+def test_failure_mask_overhead_and_parity():
+    pods = _env_int("REPRO_BENCH_FMASK_PODS", 8)
+    count = _env_int("REPRO_BENCH_FMASK_ARRIVALS", 800)
+    topology = three_level_tree(DatacenterSpec(pods=pods))
+    topology.flat  # build the array view outside the timed region
+    pool = _pool()
+    arrivals = poisson_arrivals(pool, count, LOAD, topology.total_slots, seed=0)
+    report = {
+        "benchmark": "failure_masks",
+        "python": platform.python_version(),
+        "pods": pods,
+        "arrivals": count,
+        "load": LOAD,
+    }
+    _empty_mask_rows(report, topology, arrivals, pool)
+    _masked_vs_pruned_rows(report, topology, arrivals, pool)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))

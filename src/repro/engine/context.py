@@ -22,7 +22,11 @@ from repro.engine.scenario import Trial
 from repro.errors import EngineError
 from repro.simulation.cluster import ClusterManager
 from repro.simulation.runner import make_placer
-from repro.topology.builder import DatacenterSpec, three_level_tree
+from repro.topology.builder import (
+    DatacenterSpec,
+    heterogeneous_from_spec,
+    three_level_tree,
+)
 from repro.topology.ledger import Ledger
 from repro.topology.tree import Topology
 from repro.workloads.bing import bing_pool
@@ -34,6 +38,7 @@ __all__ = [
     "POOL_NAMES",
     "TrialContext",
     "build_context",
+    "get_hetero_topology",
     "get_pool",
     "get_scaled_pool",
     "get_topology",
@@ -73,6 +78,18 @@ def get_topology(spec: DatacenterSpec, unlimited: bool = False) -> Topology:
     trial's ledger and placers start from the shared arrays instead of
     racing to build them on first use."""
     topology = three_level_tree(spec, unlimited=unlimited)
+    topology.flat  # noqa: B018 - force one-time materialization
+    return topology
+
+
+@lru_cache(maxsize=32)
+def get_hetero_topology(spec: DatacenterSpec) -> Topology:
+    """The deterministic heterogeneous variant of a spec (failure kind).
+
+    Immutable like :func:`get_topology` — failure state lives in
+    per-trial ledgers' :class:`~repro.topology.failures.FailureMask`, so
+    the shared topology is never mutated."""
+    topology = heterogeneous_from_spec(spec)
     topology.flat  # noqa: B018 - force one-time materialization
     return topology
 

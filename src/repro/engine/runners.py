@@ -18,6 +18,7 @@ runtime    ``{"seconds": float, "placed": bool}`` or ``None`` (skipped)
 enforce    :class:`repro.enforcement.scenarios.Fig13Point`
 hose_fail  :class:`repro.enforcement.scenarios.Fig4Outcome`
 temporal   ``{"windows", "tenants", "admitted", "utilization"}``
+failure    survival/churn/recovery dict (see ``run_failure_trial``)
 survey     raw Fig. 1 ratio data (dict)
 ========== ==========================================================
 
@@ -203,6 +204,37 @@ def run_temporal_trial(trial: Trial) -> dict[str, Any]:
     }
 
 
+def run_failure_trial(trial: Trial) -> dict[str, Any]:
+    """Failure injection + recovery on a (default: heterogeneous) fabric.
+
+    ``x`` is the failed-server fraction; params ``switches``/``links``
+    set the ToR-switch and ToR-uplink failure counts, and ``hetero``
+    (default 1) selects the deterministic mixed-rack variant of the
+    spec over the symmetric tree.  ``recover_seconds`` in the payload is
+    wall clock and excluded from fingerprints (see ``_TIMING_FIELDS``).
+    """
+    from repro.engine.context import get_hetero_topology, get_scaled_pool
+    from repro.simulation.failures import run_failure_scenario
+
+    topology = (
+        get_hetero_topology(trial.topology.spec)
+        if trial.param("hetero", 1)
+        else get_topology(trial.topology.spec)
+    )
+    return run_failure_scenario(
+        topology,
+        list(get_scaled_pool(trial.pool, trial.bmax)),
+        placer_name=trial.variant.placer,
+        ha=trial.variant.ha,
+        load=trial.load,
+        arrivals=trial.arrivals,
+        seed=trial.seed,
+        fail_fraction=float(trial.x),
+        switch_failures=int(trial.param("switches", 1)),
+        link_failures=int(trial.param("links", 1)),
+    )
+
+
 def run_survey_trial(trial: Trial) -> dict[str, Any]:
     """Raw Fig. 1 data: workload demand vs datacenter provisioning."""
     from repro.workloads.survey import DATACENTERS, WORKLOADS, datacenter_ratios
@@ -233,6 +265,7 @@ RUNNERS: dict[str, Callable[[Trial], Any]] = {
     "enforce": run_enforce_trial,
     "hose_fail": run_hose_failure_trial,
     "temporal": run_temporal_trial,
+    "failure": run_failure_trial,
     "survey": run_survey_trial,
 }
 
@@ -254,6 +287,9 @@ KIND_AXES: dict[str, frozenset[str]] = {
     # The variant axis is the accounting mode (window vs peak); the
     # x-axis is the window count.
     "temporal": frozenset({"placers", "pods"}),
+    # The x-axis is the failed-server fraction; every generic axis
+    # (load, pool scaling, placer, topology size, seeds) is meaningful.
+    "failure": _ALL_AXES,
     "survey": frozenset(),
 }
 

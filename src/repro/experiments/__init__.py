@@ -17,6 +17,7 @@ from repro.experiments import (
     fig11_wcs_guarantee,
     fig12_opportunistic_ha,
     fig13_enforcement,
+    failure_sweep,
     inference_ami,
     runtime_scaling,
     table1_reserved_bw,
@@ -37,6 +38,7 @@ EXPERIMENTS = {
     "runtime": runtime_scaling,
     "inference": inference_ami,
     "temporal": temporal_savings,
+    "failure": failure_sweep,
 }
 
 __all__ = ["EXPERIMENTS"]

@@ -242,7 +242,10 @@ class CandidateIndex:
         """
         entries = self._rack_entries.get(rack_id)
         used_of = self.ledger.used_slots_id
-        slots = self.flat.slots
+        # Effective capacities, not ``flat.slots``: a failure mask zeroes
+        # a down server's capacity without touching ``used``, and the
+        # entry key must notice eligibility flips either way.
+        cap = self.ledger.slot_cap
         enum_pos = self._enum_pos
         rack_key = self._rack_key
         if entries is None:
@@ -250,7 +253,7 @@ class CandidateIndex:
             entries = []
             for server_id in self.flat.server_order[lo:hi]:
                 used = used_of(server_id)
-                if used < slots[server_id]:
+                if used < cap[server_id]:
                     entries.append((-used, enum_pos[server_id], server_id))
                     rack_key[server_id] = used
                 else:
@@ -264,7 +267,8 @@ class CandidateIndex:
             for server_id in dirty:
                 old = rack_key[server_id]
                 used = used_of(server_id)
-                if used == old:
+                new = used if used < cap[server_id] else -1
+                if new == old:
                     continue
                 if old >= 0:
                     del entries[
@@ -272,11 +276,9 @@ class CandidateIndex:
                             entries, (-old, enum_pos[server_id], server_id)
                         )
                     ]
-                if used < slots[server_id]:
-                    insort(entries, (-used, enum_pos[server_id], server_id))
-                    rack_key[server_id] = used
-                else:
-                    rack_key[server_id] = -1
+                if new >= 0:
+                    insort(entries, (-new, enum_pos[server_id], server_id))
+                rack_key[server_id] = new
         return entries
 
     # ------------------------------------------------------------------
@@ -305,4 +307,22 @@ class CandidateIndex:
             if repaired != expected:
                 raise AssertionError(
                     f"candidate index level {level} diverged from rebuild"
+                )
+
+    def verify_racks(self) -> None:
+        """Assert every built rack list matches a from-scratch rebuild."""
+        used_of = self.ledger.used_slots_id
+        cap = self.ledger.slot_cap
+        enum_pos = self._enum_pos
+        span = self.flat.server_span
+        for rack_id in list(self._rack_entries):
+            lo, hi = span[rack_id]
+            expected = sorted(
+                (-used_of(server_id), enum_pos[server_id], server_id)
+                for server_id in self.flat.server_order[lo:hi]
+                if used_of(server_id) < cap[server_id]
+            )
+            if self.rack_candidates(rack_id) != expected:
+                raise AssertionError(
+                    f"candidate index rack {rack_id} diverged from rebuild"
                 )

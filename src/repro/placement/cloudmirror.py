@@ -87,7 +87,7 @@ class CloudMirrorPlacer:
         self.estimator = DemandEstimator()
         # Per-subtree low-bandwidth threshold: a pure function of the
         # immutable topology, so memoized for the life of the placer.
-        self._threshold_cache: dict[int, float] = {}
+        self._threshold_cache: dict[int, tuple[int, float]] = {}
         # Colocation candidate plan (hose loops + internal trunk edges),
         # a pure function of the tag; rebuilt when the tag changes.
         self._plan_for: Tag | None = None
@@ -303,7 +303,9 @@ class CloudMirrorPlacer:
     ) -> None:
         """Place VMs straight onto one server, respecting slots and Eq. 7."""
         server_id = server.node_id
-        free = self._flat.slots[server_id] - self.ledger.used_slots_id(server_id)
+        free = self.ledger.slot_cap[server_id] - self.ledger.used_slots_id(
+            server_id
+        )
         order = sorted(
             want,
             key=lambda t: max(allocation.tag.per_vm_demand(t)),
@@ -456,24 +458,28 @@ class CloudMirrorPlacer:
     def _low_bw_threshold(self, subtree: Node) -> float:
         """Nominal per-slot bandwidth of the children (Fig. 6 heuristic).
 
-        Depends only on the immutable topology, so computed once per
-        subtree and memoized.
+        Depends on the topology and the current failure mask — a failed
+        subtree is absent from a pruned fabric, so its alive slot count
+        (zero) must drop it from the mean here too.  Memoized per
+        subtree, keyed by the mask generation (static ledgers stay at
+        version 0, so the cache never invalidates without failures).
         """
+        version = self.ledger.mask_version()
         cached = self._threshold_cache.get(subtree.node_id)
-        if cached is not None:
-            return cached
+        if cached is not None and cached[0] == version:
+            return cached[1]
         flat = self._flat
-        subtree_slots = flat.subtree_slots
+        alive_slots = self.ledger.alive_subtree_slots_id
         values = []
         for child_id in flat.children_ids[subtree.node_id]:
-            slots = subtree_slots[child_id]
+            slots = alive_slots(child_id)
             up = flat.nominal_up[child_id]
             down = flat.nominal_down[child_id]
             nominal = up if up < down else down
             if slots > 0 and math.isfinite(nominal):
                 values.append(nominal / slots)
         threshold = sum(values) / len(values) if values else 0.0
-        self._threshold_cache[subtree.node_id] = threshold
+        self._threshold_cache[subtree.node_id] = (version, threshold)
         return threshold
 
     def _candidate_plan(self, tag: Tag) -> tuple[dict[str, float], tuple]:

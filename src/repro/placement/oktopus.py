@@ -140,7 +140,7 @@ class OktopusPlacer:
         flat = ledger.flat
         if node.is_server:
             node_id = node.node_id
-            free = flat.slots[node_id] - ledger.used_slots_id(node_id)
+            free = ledger.slot_cap[node_id] - ledger.used_slots_id(node_id)
             cap = tier_cap_left(self.ha, allocation, node, cluster.name)
             count = min(want, free, cap)
             if count <= 0:

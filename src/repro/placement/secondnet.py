@@ -179,7 +179,7 @@ class SecondNetPlacer:
             candidates = [
                 s
                 for s in self.topology.servers_under(rack)
-                if ledger.used_slots(s) < s.slots
+                if ledger.used_slots(s) < ledger.slot_cap[s.node_id]
             ]
             if not candidates:
                 continue

@@ -266,6 +266,50 @@ def _temporal_metrics(payload: dict) -> dict[str, float]:
     }
 
 
+_FAILURE_INT_FIELDS = (
+    "placed",
+    "placed_vms",
+    "failed_servers",
+    "failed_switches",
+    "failed_links",
+    "downed_servers",
+    "victims",
+    "victim_vms",
+    "survivors",
+    "replaced",
+    "lost",
+    "churn_vms",
+)
+
+
+def _failure_to(payload: dict) -> dict:
+    # recover_seconds is wall clock (a _TIMING_FIELDS member): zero it in
+    # the canonical encoding so equal fingerprints mean equal bytes, as
+    # for the rejection kind's runtime_seconds.
+    data = dict(payload)
+    data["recover_seconds"] = 0.0
+    return data
+
+
+def _failure_from(data: dict) -> dict:
+    out = {field: int(data[field]) for field in _FAILURE_INT_FIELDS}
+    out["survival_rate"] = float(data["survival_rate"])
+    out["recover_seconds"] = float(data["recover_seconds"])
+    return out
+
+
+def _failure_metrics(payload: dict) -> dict[str, float]:
+    victims = payload["victims"]
+    return {
+        "survival_rate": payload["survival_rate"],
+        "victims": float(victims),
+        "replaced_fraction": payload["replaced"] / victims if victims else 1.0,
+        "lost": float(payload["lost"]),
+        "churn_vms": float(payload["churn_vms"]),
+        "recover_seconds": payload["recover_seconds"],
+    }
+
+
 def _survey_from(data: dict) -> dict:
     # JSON lowers tuples to lists; the runner emits tuple rows, so the
     # round-trip must restore them for payload equality.
@@ -353,6 +397,13 @@ def _bench_metrics(payload: dict) -> dict[str, float]:
     return out
 
 
+register_codec(
+    "failure",
+    version=1,
+    to_payload=_failure_to,
+    from_payload=_failure_from,
+    metrics=_failure_metrics,
+)
 register_codec(
     "survey",
     version=1,

@@ -55,7 +55,7 @@ from repro.placement.base import Placement, Rejection
 from repro.placement.cloudmirror import CloudMirrorPlacer
 from repro.temporal.profile import TemporalProfile, TemporalTag
 from repro.topology.builder import DatacenterSpec, three_level_tree
-from repro.topology.ledger import OP_SLOTS, Journal, SlotAccountingMixin
+from repro.topology.ledger import OP_MASK, OP_SLOTS, Journal, SlotAccountingMixin
 from repro.topology.tree import Node, Topology
 
 __all__ = [
@@ -159,6 +159,9 @@ class TemporalLedger(SlotAccountingMixin):
         self._max_down = [0.0] * size
         self._used_slots = [0] * size
         self._free_subtree = list(flat.subtree_slots)
+        # Effective slot capacity (see Ledger): aliases the immutable
+        # column until a FailureMask attaches its own mutable copy.
+        self.slot_cap = flat.slots
         self._over: set[int] = set()
         self._ratios: tuple[float, ...] = tuple([1.0] * windows)
         self._planes = tuple(
@@ -401,6 +404,8 @@ class TemporalLedger(SlotAccountingMixin):
                 self._max_up[node_id] = max_up
                 self._max_down[node_id] = max_down
                 self._update_overcommit(node_id, max_up, max_down)
+            elif tag == OP_MASK:
+                self._failure_mask._undo(op)
             else:  # pragma: no cover - defensive
                 raise LedgerError(f"unknown journal op {op!r}")
 
@@ -418,14 +423,21 @@ class TemporalCluster:
 
     def __init__(
         self,
-        spec: DatacenterSpec,
+        spec: DatacenterSpec | None,
         windows: int,
         *,
+        topology: Topology | None = None,
         use_candidate_index: bool = True,
     ) -> None:
         self.spec = spec
         self.windows = windows
-        self.topology: Topology = three_level_tree(spec)
+        # An explicit topology (heterogeneous fabrics, pruned failure
+        # references) overrides the spec-built symmetric tree.
+        if topology is None:
+            if spec is None:
+                raise SimulationError("need a DatacenterSpec or a topology")
+            topology = three_level_tree(spec)
+        self.topology: Topology = topology
         self.ledger = TemporalLedger(self.topology, windows)
         # The candidate index attaches to the temporal ledger the same
         # way it does to the classic one: slots are plane-invariant, so

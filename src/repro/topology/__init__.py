@@ -2,11 +2,17 @@
 
 from repro.topology.builder import (
     DatacenterSpec,
+    PodSpec,
+    RackSpec,
+    fat_tree,
+    heterogeneous_from_spec,
+    heterogeneous_tree,
     multi_rooted_tree,
     paper_datacenter,
     single_rack,
     three_level_tree,
 )
+from repro.topology.failures import FailureMask, pruned_topology
 from repro.topology.flat import FlatTopology
 from repro.topology.ledger import Journal, Ledger
 from repro.topology.tree import SERVER_LEVEL, Node, Topology, TopologyBuilder
@@ -14,14 +20,21 @@ from repro.topology.tree import SERVER_LEVEL, Node, Topology, TopologyBuilder
 __all__ = [
     "SERVER_LEVEL",
     "DatacenterSpec",
+    "FailureMask",
     "FlatTopology",
     "Journal",
     "Ledger",
     "Node",
-    "multi_rooted_tree",
+    "PodSpec",
+    "RackSpec",
     "Topology",
     "TopologyBuilder",
+    "fat_tree",
+    "heterogeneous_from_spec",
+    "heterogeneous_tree",
+    "multi_rooted_tree",
     "paper_datacenter",
+    "pruned_topology",
     "single_rack",
     "three_level_tree",
 ]

@@ -45,9 +45,13 @@ _EPSILON = EPSILON
 # OP_SLOTS is part of the contract shared with every ledger that mixes
 # in SlotAccountingMixin: their rollback dispatch must treat tag 0 as a
 # slot op.  Bandwidth tags are per-ledger (the temporal ledger journals
-# a different record shape under the same tag value 1).
+# a different record shape under the same tag value 1).  OP_MASK records
+# failure-mask transitions — (OP_MASK, kind, ...) — and is shared like
+# OP_SLOTS: every mixin host's rollback hands tag 2 to the attached
+# :class:`repro.topology.failures.FailureMask`.
 OP_SLOTS = 0
 OP_BANDWIDTH = 1
+OP_MASK = 2
 
 
 @dataclass
@@ -84,6 +88,11 @@ class SlotAccountingMixin:
     # One shared attachment point: ``None`` (the class default) keeps
     # the un-indexed fast path to a single identity test per mutation.
     _candidate_index = None
+    # Failure-mask attachment (repro.topology.failures.FailureMask).
+    # ``_down_cover`` aliases the mask's per-server cover counts so the
+    # slot funnel pays one identity test per mutation without a mask.
+    _failure_mask = None
+    _down_cover = None
 
     def ensure_candidate_index(self):
         """The ledger's attached candidate index, created on first use."""
@@ -92,6 +101,34 @@ class SlotAccountingMixin:
 
             self._candidate_index = CandidateIndex(self)
         return self._candidate_index
+
+    def ensure_failure_mask(self):
+        """The ledger's attached failure mask, created on first use."""
+        if self._failure_mask is None:
+            from repro.topology.failures import FailureMask
+
+            FailureMask(self)  # attaches itself (sets _failure_mask)
+        return self._failure_mask
+
+    @property
+    def failure_mask(self):
+        return self._failure_mask
+
+    def mask_version(self) -> int:
+        """Failure-state generation counter (0 while no mask exists)."""
+        mask = self._failure_mask
+        return 0 if mask is None else mask.version
+
+    def slot_capacity_id(self, server_id: int) -> int:
+        """Effective slot capacity: ``flat.slots`` unless masked down."""
+        return self.slot_cap[server_id]
+
+    def alive_subtree_slots_id(self, node_id: int) -> int:
+        """Subtree slot capacity excluding failed servers."""
+        mask = self._failure_mask
+        if mask is None:
+            return self.flat.subtree_slots[node_id]
+        return self.flat.subtree_slots[node_id] - mask.masked_subtree[node_id]
 
     # ------------------------------------------------------------------
     # queries
@@ -117,7 +154,7 @@ class SlotAccountingMixin:
         server_id = server.node_id
         if count <= 0:
             raise LedgerError(f"slot reservation must be positive, got {count}")
-        if self._used_slots[server_id] + count > self.flat.slots[server_id]:
+        if self._used_slots[server_id] + count > self.slot_cap[server_id]:
             return False
         self._apply_slots(server_id, count)
         journal.ops.append((OP_SLOTS, server_id, count))
@@ -137,6 +174,14 @@ class SlotAccountingMixin:
 
     def _apply_slots(self, server_id: int, count: int) -> None:
         self._used_slots[server_id] += count
+        down = self._down_cover
+        if down is not None and down[server_id]:
+            # A covered server contributes 0 free slots and 0 capacity
+            # regardless of ``used`` (only victim releases land here —
+            # reserve_slots refuses the zeroed capacity), so the subtree
+            # aggregates and candidate orderings are unaffected.  The
+            # mask re-applies the current ``used`` when it comes back up.
+            return
         free = self._free_subtree
         ancestors = self.flat.ancestors[server_id]
         for node_id in ancestors:
@@ -158,6 +203,9 @@ class Ledger(SlotAccountingMixin):
         self._used_up = [0.0] * size
         self._used_down = [0.0] * size
         self._free_subtree = list(flat.subtree_slots)
+        # Effective slot capacity: an *alias* of the shared immutable
+        # column until a FailureMask attaches and swaps in its own copy.
+        self.slot_cap = flat.slots
         self._over: set[int] = set()
         self._root_id = flat.root_id
         # Finite-capacity server uplinks, for the utilization metric: the
@@ -386,5 +434,7 @@ class Ledger(SlotAccountingMixin):
                 used_up[node_id] = op[2]
                 used_down[node_id] = op[3]
                 self._update_overcommit(node_id)
+            elif tag == OP_MASK:
+                self._failure_mask._undo(op)
             else:  # pragma: no cover - defensive
                 raise LedgerError(f"unknown journal op {op!r}")

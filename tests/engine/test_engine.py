@@ -141,6 +141,7 @@ class TestContextCaches:
 
 class TestRegistry:
     EXPECTED = {
+        "failure",
         "fig01",
         "fig04",
         "fig07",

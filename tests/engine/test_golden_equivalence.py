@@ -64,7 +64,16 @@ def golden_scenarios() -> list[Scenario]:
     temporal = registry.get("temporal").scenario.override(
         xs=(1, 4, 6), params=(("tenants", 18), ("trough", 0.2))
     )
-    return [fig08, fig11, secondnet, fig13, temporal]
+    # The failure kind pins the FailureMask + heterogeneous-fabric stack:
+    # load, inject seeded faults, measure survival and re-placement.
+    failure = registry.get("failure").scenario.override(
+        pods=1,
+        arrivals=80,
+        xs=(0.05, 0.2),
+        seeds=(0,),
+        variants=(Variant("cm"), Variant("secondnet")),
+    )
+    return [fig08, fig11, secondnet, fig13, temporal, failure]
 
 
 def compute_golden() -> list[dict[str, str]]:

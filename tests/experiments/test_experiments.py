@@ -125,6 +125,7 @@ class TestCli:
             "runtime",
             "inference",
             "temporal",
+            "failure",
         }
 
     def test_list_command(self, capsys):

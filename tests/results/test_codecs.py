@@ -77,6 +77,14 @@ def _bench_payload():
     }
 
 
+def _failure_payload():
+    # Canonical like _rejection_payload: the wall-clock recovery field is
+    # zeroed because the codec excludes timing from persisted identity.
+    payload = execute_trial(_trial("failure", xs=(0.1,))).payload
+    payload["recover_seconds"] = 0.0
+    return payload
+
+
 def _temporal_payload():
     return {
         "windows": 4,
@@ -95,6 +103,7 @@ PAYLOAD_FACTORIES = {
     "hose_fail": _hose_fail_payload,
     "survey": _survey_payload,
     "temporal": _temporal_payload,
+    "failure": _failure_payload,
     "bench": _bench_payload,
 }
 
