@@ -7,7 +7,12 @@
     repro run fig07 --seeds 0,1,2    # grid overrides
     repro run fig08 --store runs.sqlite      # persistent + resumable
     repro run fig08 --store a.sqlite --shard 0/2   # this machine's half
+    repro run fig08 --progress json  # machine-readable heartbeats
+    repro run fig08 --telemetry --store runs.sqlite  # persist obs data
     repro results list runs.sqlite   # inspect / aggregate stored runs
+    repro trace export --store runs.sqlite -o trace.json  # Chrome trace
+    repro profile fig08 --trials 2   # cProfile + obs counter summary
+    repro -v run fig08               # INFO logging (-vv DEBUG, -q errors)
     repro fig08 --pods 1             # shorthand for "run fig08 --pods 1"
 
 ``run`` accepts grid overrides (``--seeds``, ``--loads``, ``--bmax``,
@@ -20,6 +25,14 @@ fresh ones are recorded as they finish, so an interrupted run resumes.
 ``--shard i/n`` runs one deterministic stride of the matrix; combine
 per-shard stores with ``repro results merge``.  The legacy
 ``repro-experiment <name>`` spelling keeps working via the shorthand.
+
+Observability: leading ``-v``/``-q`` flags (before the subcommand)
+configure stdlib logging for the ``repro.*`` hierarchy.  ``run`` takes
+``--progress {live,json,off}`` (default: live on a TTY, off otherwise)
+and ``--telemetry`` (enable span/counter instrumentation; persisted as
+``telemetry`` rows when ``--store`` is given).  ``repro trace export``
+turns stored telemetry into Chrome-trace JSON; ``repro profile``
+cProfiles a scenario's trials in-process.  See :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -84,6 +97,19 @@ def _build_run_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--pods", type=int, help="datacenter pods")
     parser.add_argument("--arrivals", type=int, help="tenant arrivals per trial")
+    parser.add_argument(
+        "--progress",
+        choices=("live", "json", "off"),
+        default=None,
+        help="progress reporting: live stderr line, JSON heartbeats, or "
+        "off (default: live when stderr is a TTY, off otherwise)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable span/counter instrumentation; per-trial telemetry "
+        "rows are persisted when --store is given",
+    )
     return parser
 
 
@@ -150,7 +176,30 @@ def _run(argv: list[str]) -> int:
             store = ResultStore(args.store)
             if args.shard is not None:
                 shard = parse_shard(args.shard)
-        result = Engine(n_jobs=jobs).run(scenario, store=store, shard=shard)
+        progress = None
+        mode = args.progress
+        if mode is None:
+            # Default: a human watching a terminal gets the live line;
+            # redirected stderr (CI logs, pipes) stays clean.
+            mode = "live" if sys.stderr.isatty() else "off"
+        if mode != "off":
+            from repro.obs import ProgressReporter
+
+            progress = ProgressReporter(mode)
+        if args.telemetry:
+            from repro.obs import core as obs
+
+            obs.enable()  # env-backed, so spawn workers inherit it
+            if store is None:
+                import logging
+
+                logging.getLogger("repro.cli").info(
+                    "--telemetry without --store: traces are collected "
+                    "but not persisted"
+                )
+        result = Engine(n_jobs=jobs).run(
+            scenario, store=store, shard=shard, progress=progress
+        )
         entry.present(result)
     except ReproError as error:
         print(f"error: {error}")
@@ -190,8 +239,34 @@ def _shorthand(name: str, rest: list[str]) -> int:
     return 0
 
 
+def _strip_verbosity(argv: list[str]) -> tuple[list[str], int]:
+    """Consume leading ``-v``/``-q`` flags (before the subcommand).
+
+    Only the leading position is global — ``repro run fig08 -v`` is left
+    for the subcommand parser to reject, so experiment CLIs that define
+    their own ``-v`` keep working.
+    """
+    verbosity = 0
+    while argv:
+        flag = argv[0]
+        if flag in ("-v", "--verbose"):
+            verbosity += 1
+        elif flag in ("-q", "--quiet"):
+            verbosity -= 1
+        elif flag.startswith("-v") and set(flag[1:]) == {"v"}:
+            verbosity += len(flag) - 1  # -vv, -vvv
+        else:
+            break
+        argv = argv[1:]
+    return argv, verbosity
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    argv, verbosity = _strip_verbosity(argv)
+    from repro.obs import setup_logging
+
+    setup_logging(verbosity)
     try:
         if not argv or argv[0] in ("-h", "--help", "list"):
             return _list_scenarios()
@@ -205,6 +280,14 @@ def main(argv: list[str] | None = None) -> int:
             from repro.results.trajectory import bench_main
 
             return bench_main(argv[1:])
+        if argv[0] == "trace":
+            from repro.obs.trace import trace_main
+
+            return trace_main(argv[1:])
+        if argv[0] == "profile":
+            from repro.obs.profile import profile_main
+
+            return profile_main(argv[1:])
         return _shorthand(argv[0], argv[1:])
     except BrokenPipeError:
         # Piped into head/less that exited: not an error.  Detach stdout

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.core.constants import CONVERGENCE_EPSILON
 from repro.errors import EnforcementError
+from repro.obs import core as _obs
 
 __all__ = ["FlowSpec", "MaxMinProblem", "maxmin_rates", "solve_maxmin"]
 
@@ -139,8 +140,10 @@ def solve_maxmin(problem: MaxMinProblem) -> list[float]:
     active = has_links & (limits > 0.0)
     residual = problem.capacities.astype(np.float64, copy=True)
     epsilon = CONVERGENCE_EPSILON
+    rounds = 0
 
     while active.any():
+        rounds += 1
         # Smallest increment that freezes something: a link filling up
         # (equal shares among its current users) or a flow's own limit.
         entry_active = active[entry_flow].astype(np.float64)
@@ -172,6 +175,13 @@ def solve_maxmin(problem: MaxMinProblem) -> list[float]:
             # Numerical stall; freeze everything to terminate.
             frozen = active.copy()
         active &= ~frozen
+    # One bump per solve (rounds tallied locally): the kernel is called
+    # thousands of times per enforcement trial, so per-round counter
+    # traffic would be measurable even though per-solve traffic is not.
+    c = _obs.counters
+    if c is not None:
+        c.bump("maxmin.solves")
+        c.bump("maxmin.rounds", rounds)
     return rates.tolist()
 
 

@@ -20,6 +20,7 @@ from typing import Callable, Sequence
 from repro.core.tag import Tag
 from repro.engine.scenario import Trial
 from repro.errors import EngineError
+from repro.obs import core as _obs
 from repro.simulation.cluster import ClusterManager
 from repro.simulation.runner import make_placer
 from repro.topology.builder import (
@@ -59,12 +60,20 @@ def get_pool(name: str) -> tuple[Tag, ...]:
     factory = _POOL_FACTORIES.get(name)
     if factory is None:
         raise EngineError(f"unknown pool {name!r}; options: {POOL_NAMES}")
+    # Bumped inside the cached body: only cache *misses* count, so the
+    # counter reads as "workload parses per process".
+    c = _obs.counters
+    if c is not None:
+        c.bump("context.pool_builds")
     return tuple(factory())
 
 
 @lru_cache(maxsize=64)
 def get_scaled_pool(name: str, bmax: float) -> tuple[Tag, ...]:
     """The named pool scaled to ``bmax``, computed once per (pool, bmax)."""
+    c = _obs.counters
+    if c is not None:
+        c.bump("context.scaled_pool_builds")
     return tuple(scale_pool(get_pool(name), bmax))
 
 
@@ -77,6 +86,9 @@ def get_topology(spec: DatacenterSpec, unlimited: bool = False) -> Topology:
     subtree slot totals) is materialized here, once per process, so every
     trial's ledger and placers start from the shared arrays instead of
     racing to build them on first use."""
+    c = _obs.counters
+    if c is not None:
+        c.bump("context.topology_builds")
     topology = three_level_tree(spec, unlimited=unlimited)
     topology.flat  # noqa: B018 - force one-time materialization
     return topology
@@ -89,6 +101,9 @@ def get_hetero_topology(spec: DatacenterSpec) -> Topology:
     Immutable like :func:`get_topology` — failure state lives in
     per-trial ledgers' :class:`~repro.topology.failures.FailureMask`, so
     the shared topology is never mutated."""
+    c = _obs.counters
+    if c is not None:
+        c.bump("context.topology_builds")
     topology = heterogeneous_from_spec(spec)
     topology.flat  # noqa: B018 - force one-time materialization
     return topology

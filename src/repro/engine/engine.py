@@ -78,6 +78,7 @@ class Engine:
         *,
         store: Any | None = None,
         shard: Any | None = None,
+        progress: Any | None = None,
     ) -> ScenarioResult:
         """Execute every trial of ``scenario``; results in grid order.
 
@@ -88,6 +89,18 @@ class Engine:
         :class:`~repro.results.sharding.ShardSpec` (or a plain ``(index,
         count)`` tuple) restricting the run to that deterministic stride
         of the matrix.
+
+        ``progress`` is a :class:`~repro.obs.progress.ProgressReporter`
+        (or anything with its ``begin``/``update``/``close`` protocol):
+        ``begin`` fires once after the cache scan, ``update`` per
+        executed trial as it completes (worker order, not grid order),
+        ``close`` when the run ends — even on error, so a live status
+        line never swallows the traceback that follows it.
+
+        Results executed with instrumentation on carry a telemetry
+        export (see ``execute_trial``); when a ``store`` is present each
+        export is persisted as a ``telemetry`` row next to the trial row
+        the moment it completes.
 
         Kinds in :data:`SERIAL_ONLY_KINDS` (wall-clock measurements)
         always run serially — concurrent workers would contend for CPU
@@ -114,9 +127,7 @@ class Engine:
                     by_index[trial.index] = hit
                 else:
                     pending.append(trial)
-        record: Callable[[TrialResult], Any] | None = (
-            store.record if store is not None else None
-        )
+        record = self._make_recorder(store)
 
         # Effective worker count — what actually ran, reported as
         # ScenarioResult.n_jobs: serial-only kinds and sub-2-trial
@@ -126,14 +137,26 @@ class Engine:
             n_jobs = 1
         else:
             n_jobs = min(self.n_jobs, len(pending))
-        if n_jobs == 1:
-            for trial in pending:
-                result = execute_trial(trial)
-                if record is not None:
-                    record(result)
-                by_index[trial.index] = result
-        else:
-            self._run_parallel(pending, n_jobs, by_index, record)
+        if progress is not None:
+            progress.begin(
+                total=len(trials),
+                cache_hits=len(trials) - len(pending),
+                n_jobs=n_jobs,
+            )
+        try:
+            if n_jobs == 1:
+                for trial in pending:
+                    result = execute_trial(trial)
+                    if record is not None:
+                        record(result)
+                    by_index[trial.index] = result
+                    if progress is not None:
+                        progress.update(result)
+            else:
+                self._run_parallel(pending, n_jobs, by_index, record, progress)
+        finally:
+            if progress is not None:
+                progress.close()
         return ScenarioResult(
             scenario=scenario,
             results=[by_index[trial.index] for trial in trials],
@@ -142,12 +165,40 @@ class Engine:
             cache_hits=len(trials) - len(pending),
         )
 
+    @staticmethod
+    def _make_recorder(store: Any | None) -> Callable[[TrialResult], Any] | None:
+        """The per-result persistence hook: trial row + telemetry row.
+
+        Telemetry persistence piggybacks on the existing record path so
+        an interrupted instrumented run keeps its traces for everything
+        that completed, exactly like the trial rows themselves.
+        """
+        if store is None:
+            return None
+        record_payload = getattr(store, "record_payload", None)
+        if record_payload is None:
+            # Minimal store protocol (cached_result/record only): trial
+            # rows persist, telemetry has nowhere to go.
+            return store.record
+
+        def record(result: TrialResult) -> None:
+            store.record(result)
+            if result.telemetry is not None:
+                # Lazy import: same direction rule as the shard import
+                # above — repro.results depends on repro.engine.
+                from repro.results.telemetry import record_telemetry
+
+                record_telemetry(store, result)
+
+        return record
+
     def _run_parallel(
         self,
         trials: list[Trial],
         workers: int,
         by_index: dict[int, TrialResult],
         record: Callable[[TrialResult], Any] | None,
+        progress: Any | None = None,
     ) -> None:
         context = multiprocessing.get_context(self.mp_context)
         # chunksize=1: trial runtimes vary wildly across a grid (a 90%
@@ -161,3 +212,5 @@ class Engine:
                 if record is not None:
                     record(result)
                 by_index[result.trial.index] = result
+                if progress is not None:
+                    progress.update(result)

@@ -35,6 +35,8 @@ import numpy as np
 from repro.engine.context import build_context, get_pool, get_topology
 from repro.engine.scenario import Trial, TrialResult
 from repro.errors import EngineError
+from repro.obs import core as obs
+from repro.obs.trace import TraceRecorder
 from repro.simulation.arrivals import poisson_arrivals
 from repro.simulation.cluster import run_arrival_departure
 from repro.simulation.runner import measure_reserved_bandwidth
@@ -124,10 +126,11 @@ def run_runtime_trial(trial: Trial) -> dict[str, Any] | None:
     )
     ledger = Ledger(get_topology(trial.topology.spec))
     placer = make_placer(trial.variant.placer, ledger, trial.variant.ha)
-    started = time.perf_counter()
-    result = placer.place(tenant)
+    # obs.timed is perf_counter either way; the reading IS the payload.
+    with obs.timed("place") as timer:
+        result = placer.place(tenant)
     return {
-        "seconds": time.perf_counter() - started,
+        "seconds": timer.seconds,
         "placed": isinstance(result, Placement),
     }
 
@@ -323,12 +326,29 @@ def execute_trial(trial: Trial) -> TrialResult:
     are persisted by the results store and compared across runs, so they
     have to be monotonic and immune to wall-clock adjustments (NTP
     slews, DST) that would corrupt a ``time.time()`` delta.
+
+    With instrumentation on (:func:`repro.obs.enable` in this process,
+    or the ``REPRO_OBS`` flag inherited by a spawn worker), the whole
+    trial runs inside a :class:`~repro.obs.trace.TraceRecorder` and the
+    result carries its export on ``TrialResult.telemetry`` — a plain
+    dict, so it crosses the worker boundary with the rest of the result.
+    The payload itself is bit-identical either way: instrumentation only
+    reads simulation state.
     """
     runner = RUNNERS.get(trial.kind)
     if runner is None:
         raise EngineError(
             f"no runner for kind {trial.kind!r}; options: {sorted(RUNNERS)}"
         )
-    started = time.perf_counter()
-    payload = runner(trial)
-    return TrialResult(trial, payload, time.perf_counter() - started)
+    if not obs.enabled():
+        started = time.perf_counter()
+        payload = runner(trial)
+        return TrialResult(trial, payload, time.perf_counter() - started)
+    label = f"{trial.scenario}/{trial.variant.name}#{trial.index}"
+    with TraceRecorder(label) as recorder:
+        started = time.perf_counter()
+        with obs.span(f"trial.{trial.kind}", scenario=trial.scenario,
+                      variant=trial.variant.name, seed=trial.seed):
+            payload = runner(trial)
+        elapsed = time.perf_counter() - started
+    return TrialResult(trial, payload, elapsed, telemetry=recorder.export())

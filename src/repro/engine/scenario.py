@@ -232,12 +232,17 @@ class TrialResult:
     ``cached`` marks results served from a
     :class:`~repro.results.store.ResultStore` instead of executed;
     ``elapsed`` then reports the *original* execution's wall time.
+    ``telemetry`` holds the trial's trace export (a plain dict, see
+    :class:`repro.obs.trace.TraceRecorder`) when instrumentation was on,
+    else ``None``; like ``elapsed`` it is observation, not outcome, and
+    never participates in :meth:`fingerprint`.
     """
 
     trial: Trial
     payload: Any
     elapsed: float
     cached: bool = False
+    telemetry: Any = None
 
     def fingerprint(self) -> str:
         """Deterministic identity of the trial and its metrics.

@@ -1,0 +1,57 @@
+"""CLI logging setup: one ``repro.*`` hierarchy, ``-v``/``-q`` levels.
+
+Library modules obtain loggers the stdlib way
+(``logging.getLogger(__name__)`` → ``repro.engine.engine`` etc.) and
+never configure handlers; this module is the single place the CLI
+attaches one.  Warnings (``warnings.warn``) are routed through the
+``py.warnings`` logger so ``-q`` silences them and ``-v`` timestamps
+them like everything else.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+__all__ = ["setup_logging", "verbosity_level"]
+
+_LEVELS = {
+    -1: logging.ERROR,  # -q
+    0: logging.WARNING,  # default
+    1: logging.INFO,  # -v
+    2: logging.DEBUG,  # -vv
+}
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a -q/-v count to a stdlib logging level (clamped)."""
+    return _LEVELS[max(-1, min(2, verbosity))]
+
+
+def setup_logging(verbosity: int = 0, *, stream: TextIO | None = None) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy for a CLI invocation.
+
+    ``verbosity`` counts ``-v`` flags minus ``-q`` flags: -1 → ERROR,
+    0 → WARNING, 1 → INFO, 2+ → DEBUG.  Idempotent — repeated calls
+    (tests, nested entry points) reconfigure the same handler instead
+    of stacking duplicates.
+    """
+    level = verbosity_level(verbosity)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if level <= logging.DEBUG:
+        fmt = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+    else:
+        fmt = "%(levelname)s %(name)s: %(message)s"
+    handler.setFormatter(logging.Formatter(fmt))
+
+    for name in ("repro", "py.warnings"):
+        logger = logging.getLogger(name)
+        for existing in list(logger.handlers):
+            logger.removeHandler(existing)
+        logger.addHandler(handler)
+        logger.setLevel(level)
+        logger.propagate = False
+
+    logging.captureWarnings(True)
+    return logging.getLogger("repro")

@@ -1,0 +1,215 @@
+"""Per-trial trace recording and Chrome-trace export.
+
+A :class:`TraceRecorder` wraps one trial: entering it installs the
+recorder as the active sink in :mod:`repro.obs.core` (so every
+``obs.span`` / ``obs.timed`` inside the trial lands here) and snapshots
+the process counters; exiting detaches it and computes the counter
+delta.  :meth:`TraceRecorder.export` then returns a plain picklable
+dict — that is what crosses the spawn-worker boundary on
+``TrialResult.telemetry`` and what the ``telemetry`` result kind
+persists.
+
+``chrome_trace`` turns one or more exports into the Chrome-trace JSON
+(``chrome://tracing`` / Perfetto "Trace Event Format") consumed by
+``repro trace export``: one ``"X"`` (complete) event per span, with
+phase nesting reconstructed from timestamps.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.obs import core
+
+__all__ = ["TraceRecorder", "chrome_trace", "trace_main"]
+
+# Per-trial event cap: a pathological trial (millions of spans) must not
+# OOM the worker or bloat the store; phase totals keep accumulating past
+# the cap, only the raw event list stops growing.
+MAX_EVENTS = 20_000
+
+
+class TraceRecorder:
+    """Collects spans and counter deltas for one labelled unit of work.
+
+    Use as a context manager around a trial::
+
+        with TraceRecorder("fig08/cm@0.5#0") as rec:
+            ...  # obs.span(...) calls inside land here
+        result = rec.export()
+
+    Recorders do not nest: entering while another recorder is active
+    replaces it for the duration and restores it on exit, so stray
+    nesting degrades gracefully instead of corrupting both traces.
+    """
+
+    __slots__ = (
+        "label",
+        "events",
+        "phases",
+        "counters",
+        "dropped_events",
+        "_prev",
+        "_base",
+    )
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        # events: [name, start_us, dur_us] triples (lists: JSON round-trip).
+        self.events: list[list[Any]] = []
+        # phases: name -> {"count": n, "seconds": total} aggregates; these
+        # keep accumulating even after the event cap trips.
+        self.phases: dict[str, dict[str, Any]] = {}
+        self.counters: dict[str, int] = {}
+        self.dropped_events = 0
+        self._prev: Any = None
+        self._base: dict[str, int] = {}
+
+    def __enter__(self) -> "TraceRecorder":
+        self._prev = core.recorder
+        core.recorder = self
+        self._base = core.counter_snapshot()
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        core.recorder = self._prev
+        self._prev = None
+        after = core.counter_snapshot()
+        self.counters = {
+            name: value - self._base.get(name, 0)
+            for name, value in sorted(after.items())
+            if value - self._base.get(name, 0)
+        }
+        return False
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        args: dict[str, Any] | None,
+    ) -> None:
+        """Sink for finished spans (called by ``core._Span``/``Timer``)."""
+        phase = self.phases.get(name)
+        if phase is None:
+            phase = self.phases[name] = {"count": 0, "seconds": 0.0}
+        phase["count"] += 1
+        phase["seconds"] += duration
+        if len(self.events) >= MAX_EVENTS:
+            self.dropped_events += 1
+            return
+        event: list[Any] = [name, round(start * 1e6, 1), round(duration * 1e6, 1)]
+        if args:
+            event.append(args)
+        self.events.append(event)
+
+    def export(self) -> dict[str, Any]:
+        """The picklable/JSON-able trace: phases, counters, raw events."""
+        return {
+            "label": self.label,
+            "phases": {
+                name: {"count": p["count"], "seconds": p["seconds"]}
+                for name, p in sorted(self.phases.items())
+            },
+            "counters": dict(self.counters),
+            "events": [list(e) for e in self.events],
+            "dropped_events": self.dropped_events,
+        }
+
+
+def chrome_trace(exports: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Merge trace exports into one Chrome-trace ("Trace Event Format") dict.
+
+    Each export becomes its own ``tid`` (named after its label) so
+    parallel trials render as parallel tracks; span nesting within a
+    track is reconstructed by the viewer from the ``ts``/``dur``
+    intervals of the ``"X"`` complete events.
+    """
+    trace_events: list[dict[str, Any]] = []
+    for tid, export in enumerate(exports, start=1):
+        label = str(export.get("label", f"trial-{tid}"))
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+        for event in export.get("events", ()):
+            name, ts_us, dur_us = event[0], event[1], event[2]
+            record: dict[str, Any] = {
+                "name": name,
+                "ph": "X",
+                "ts": ts_us,
+                "dur": dur_us,
+                "pid": 1,
+                "tid": tid,
+            }
+            if len(event) > 3 and event[3]:
+                record["args"] = event[3]
+            trace_events.append(record)
+        dropped = export.get("dropped_events", 0)
+        if dropped:
+            trace_events.append(
+                {
+                    "name": f"dropped {dropped} events (cap {MAX_EVENTS})",
+                    "ph": "I",
+                    "ts": 0,
+                    "pid": 1,
+                    "tid": tid,
+                    "s": "t",
+                }
+            )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def trace_main(argv: list[str] | None = None) -> int:
+    """``repro trace export`` — store telemetry rows → Chrome-trace JSON."""
+    import argparse
+
+    from repro.results.store import ResultStore
+    from repro.results.telemetry import exports_from_store
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Export stored telemetry traces as Chrome-trace JSON "
+        "(open in chrome://tracing or https://ui.perfetto.dev).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    export = sub.add_parser("export", help="write Chrome-trace JSON")
+    export.add_argument("scenario", nargs="?", help="scenario name filter")
+    export.add_argument(
+        "--store", required=True, help="path to the results SQLite store"
+    )
+    export.add_argument(
+        "-o", "--output", help="output path (default: stdout)"
+    )
+    export.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="cap the number of trial tracks exported",
+    )
+    args = parser.parse_args(argv)
+
+    store = ResultStore(args.store)
+    try:
+        exports = exports_from_store(
+            store, scenario=args.scenario, limit=args.limit
+        )
+    finally:
+        store.close()
+    if not exports:
+        print("no stored telemetry matches the filter", flush=True)
+        return 1
+    text = json.dumps(chrome_trace(exports)) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {len(exports)} trace track(s) to {args.output}")
+    else:
+        print(text, end="")
+    return 0

@@ -48,6 +48,8 @@ from __future__ import annotations
 from bisect import bisect_left, insort
 from typing import Callable, Iterable
 
+from repro.obs import core as _obs
+
 __all__ = ["CandidateIndex"]
 
 
@@ -127,6 +129,9 @@ class CandidateIndex:
         entries = self._level_entries[level]
         free_of = self.ledger.free_slots_id
         if entries is None:
+            c = _obs.counters
+            if c is not None:
+                c.bump("candidates.level_builds")
             pos = self._level_pos
             entry_free = self._entry_free
             entries = []
@@ -140,6 +145,10 @@ class CandidateIndex:
             return entries
         dirty = self._level_dirty[level]
         if dirty:
+            c = _obs.counters
+            if c is not None:
+                c.bump("candidates.level_repairs")
+                c.bump("candidates.level_repaired_nodes", len(dirty))
             pos = self._level_pos
             entry_free = self._entry_free
             for node_id in dirty:
@@ -249,6 +258,9 @@ class CandidateIndex:
         enum_pos = self._enum_pos
         rack_key = self._rack_key
         if entries is None:
+            c = _obs.counters
+            if c is not None:
+                c.bump("candidates.rack_builds")
             lo, hi = self.flat.server_span[rack_id]
             entries = []
             for server_id in self.flat.server_order[lo:hi]:
@@ -264,6 +276,10 @@ class CandidateIndex:
             return entries
         dirty = self._rack_dirty.pop(rack_id, None)
         if dirty:
+            c = _obs.counters
+            if c is not None:
+                c.bump("candidates.rack_repairs")
+                c.bump("candidates.rack_repaired_servers", len(dirty))
             for server_id in dirty:
                 old = rack_key[server_id]
                 used = used_of(server_id)

@@ -32,6 +32,7 @@ from typing import Callable, Iterator, Mapping
 from repro.core.bandwidth import BandwidthDemand, uplink_requirement
 from repro.core.tag import Tag
 from repro.errors import ReproError, TagError
+from repro.obs import core as _obs
 from repro.topology.ledger import Journal, Ledger
 from repro.topology.tree import Node
 
@@ -558,6 +559,9 @@ class TenantAllocation:
 
     def _update_reservation(self, node_id: int) -> None:
         """Recompute the requirement on ``node_id``'s uplink, apply the delta."""
+        c = _obs.counters
+        if c is not None:
+            c.bump("placement.reservation_updates")
         if self._compiled_for is not self.tag:
             self._recompile()
         out, into = self._require(self._counts.get(node_id, {}))

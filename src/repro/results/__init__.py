@@ -43,7 +43,12 @@ from repro.results.codecs import (
     codec_version,
     register_codec,
 )
-from repro.results.export import EXPORT_FORMATS, export_rows, export_store
+from repro.results.export import (
+    EXPORT_FORMATS,
+    export_rows,
+    export_store,
+    stream_export,
+)
 from repro.results.fingerprint import canonical_trial, trial_fingerprint
 from repro.results.present import (
     aggregate_chart,
@@ -53,6 +58,12 @@ from repro.results.present import (
 )
 from repro.results.sharding import ShardSpec, parse_shard
 from repro.results.store import ResultStore, StoredRow
+from repro.results.telemetry import (
+    TELEMETRY_KIND,
+    exports_from_store,
+    record_telemetry,
+    telemetry_fingerprint,
+)
 from repro.results.trajectory import (
     BENCH_KIND,
     RegressionFlag,
@@ -71,6 +82,7 @@ __all__ = [
     "ResultStore",
     "ShardSpec",
     "StoredRow",
+    "TELEMETRY_KIND",
     "aggregate",
     "aggregate_chart",
     "aggregate_table",
@@ -82,13 +94,17 @@ __all__ = [
     "codec_version",
     "export_rows",
     "export_store",
+    "exports_from_store",
     "ingest_report",
     "parse_shard",
+    "record_telemetry",
     "register_codec",
     "samples_from_results",
     "samples_from_store",
     "seed_replicated_summary",
     "store_summary_table",
+    "stream_export",
+    "telemetry_fingerprint",
     "trajectory_rows",
     "trial_fingerprint",
 ]

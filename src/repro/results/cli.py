@@ -26,7 +26,7 @@ from pathlib import Path
 
 from repro.errors import ReproError, ResultsError
 from repro.results.aggregate import aggregate, samples_from_store
-from repro.results.export import EXPORT_FORMATS, export_store
+from repro.results.export import EXPORT_FORMATS, stream_export
 from repro.results.present import (
     aggregate_chart,
     aggregate_table,
@@ -77,23 +77,29 @@ def _show(args: argparse.Namespace) -> int:
 
 def _export(args: argparse.Namespace) -> int:
     with _open_existing(args.store) as store:
-        text, count = export_store(
-            store, args.format, scenario=args.scenario, kind=args.kind
-        )
-    if count == 0:
-        # stdout is the data stream when no -o is given; diagnostics go
-        # to stderr so piped consumers see an empty stream, not a row.
-        print("no stored results match the filter", file=sys.stderr)
-        return 1
-    if args.output is None or args.output == "-":
-        # "-" is the conventional explicit-stdout spelling; both paths
-        # must emit exactly the bytes a file export would contain.
-        print(text, end="")
-    else:
-        # utf-8 + no newline translation: equal stores must export
-        # byte-identical files on every platform.
-        Path(args.output).write_text(text, encoding="utf-8", newline="")
-        print(f"wrote {count} rows to {args.output}")
+        # Count first: an empty filter must not create (or truncate) the
+        # output file, and streaming can't know the total up front.
+        count = store.count(scenario=args.scenario, kind=args.kind)
+        if count == 0:
+            # stdout is the data stream when no -o is given; diagnostics
+            # go to stderr so piped consumers see an empty stream.
+            print("no stored results match the filter", file=sys.stderr)
+            return 1
+
+        def rows():
+            return store.iter_rows(scenario=args.scenario, kind=args.kind)
+
+        if args.output is None or args.output == "-":
+            # "-" is the conventional explicit-stdout spelling; both
+            # paths emit exactly the bytes a file export would contain.
+            stream_export(rows, args.format, sys.stdout)
+        else:
+            # utf-8 + no newline translation: equal stores must export
+            # byte-identical files on every platform.  Rows stream from
+            # SQLite straight to the handle — O(1) rows in memory.
+            with open(args.output, "w", encoding="utf-8", newline="") as out:
+                stream_export(rows, args.format, out)
+            print(f"wrote {count} rows to {args.output}")
     return 0
 
 

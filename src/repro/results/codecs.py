@@ -410,6 +410,46 @@ register_codec(
     to_payload=_identity,
     from_payload=_survey_from,
 )
+def _telemetry_from(data: dict) -> dict:
+    return {
+        "label": str(data["label"]),
+        "phases": {
+            name: {"count": int(p["count"]), "seconds": float(p["seconds"])}
+            for name, p in data["phases"].items()
+        },
+        "counters": {name: int(v) for name, v in data["counters"].items()},
+        "events": [list(event) for event in data["events"]],
+        "dropped_events": int(data["dropped_events"]),
+    }
+
+
+def _telemetry_metrics(payload: dict) -> dict[str, float]:
+    """Phase timings and counter totals as aggregatable scalar series.
+
+    Namespaced (``phase_*`` / ``counter_*``) so `repro results show` can
+    present a scenario's wall-clock breakdown next to its trial metrics
+    without the two colliding.
+    """
+    out: dict[str, float] = {}
+    for name, phase in payload["phases"].items():
+        out[f"phase_{name}_seconds"] = float(phase["seconds"])
+        out[f"phase_{name}_count"] = float(phase["count"])
+    for name, value in payload["counters"].items():
+        out[f"counter_{name}"] = float(value)
+    return out
+
+
+# "telemetry" rows are per-trial trace exports (repro.results.telemetry),
+# written by Engine.run when instrumentation is on.  Like "bench", the
+# codec registers here so every store operation (gc in particular) sees
+# it without importing the telemetry layer.
+register_codec(
+    "telemetry",
+    version=1,
+    to_payload=_identity,
+    from_payload=_telemetry_from,
+    metrics=_telemetry_metrics,
+)
 # "bench" is not an engine trial kind: rows of this kind are smoke-bench
 # reports ingested by ``repro bench track`` (repro.results.trajectory).
 # The codec lives here with the others so that any store operation —

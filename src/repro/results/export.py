@@ -12,6 +12,16 @@ Metric columns are the sorted union across the exported rows; a row
 without a given metric leaves the cell empty (CSV) or omits the key
 (JSONL).  Rows come out in the store's deterministic order, so equal
 stores export byte-identical files.
+
+The exporter *streams*: :func:`stream_export` writes each row the
+moment it is flattened and never holds more than one row in memory, so
+exporting a million-trial store costs O(1) row buffer.  JSONL is a
+single pass; CSV needs the metric-name union before the header can be
+written, so it makes two passes over the row iterator (names + count
+first, rows second) — still O(1) rows held, at the price of reading the
+store twice.  The obs gauge ``export.row_buffer_peak`` measures the
+peak number of simultaneously-buffered flattened rows (the export test
+pins it at 1).
 """
 
 from __future__ import annotations
@@ -19,12 +29,13 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable, Iterator, TextIO
 
 from repro.errors import ResultsError
+from repro.obs import core as _obs
 from repro.results.store import ResultStore, StoredRow
 
-__all__ = ["EXPORT_FORMATS", "export_rows", "export_store"]
+__all__ = ["EXPORT_FORMATS", "export_rows", "export_store", "stream_export"]
 
 EXPORT_FORMATS = ("csv", "jsonl")
 
@@ -62,39 +73,86 @@ def _flatten(row: StoredRow) -> dict[str, Any]:
     return flat
 
 
-def export_rows(
-    rows: Iterable[StoredRow], fmt: str
-) -> str:
-    """Render stored rows in ``fmt`` (one of :data:`EXPORT_FORMATS`)."""
+def _flat_with_metrics(row: StoredRow) -> dict[str, Any]:
+    flat = _flatten(row)
+    for name, value in row.metrics().items():
+        flat[f"metric_{name}"] = value
+    return flat
+
+
+def _note_row(c: Any) -> None:
+    """Instrument one flattened-row lifetime (always exactly one live)."""
+    c.bump("export.rows")
+    if c.get("export.row_buffer_peak", 0) < 1:
+        c["export.row_buffer_peak"] = 1
+
+
+def stream_export(
+    make_rows: Callable[[], Iterator[StoredRow]],
+    fmt: str,
+    out: TextIO,
+) -> int:
+    """Write rows to ``out`` incrementally; returns the row count.
+
+    ``make_rows`` is a zero-argument callable returning a *fresh* row
+    iterator — called once for JSONL and twice for CSV (the header needs
+    the metric-name union before any row can be written).  Each row is
+    flattened, written, and dropped: peak row buffer is 1 regardless of
+    store size.  Output bytes are identical to the pre-streaming
+    exporter's.
+    """
     if fmt not in EXPORT_FORMATS:
         raise ResultsError(
             f"unknown export format {fmt!r}; options: {EXPORT_FORMATS}"
         )
-    flattened: list[dict[str, Any]] = []
-    metric_names: set[str] = set()
-    for row in rows:
-        flat = _flatten(row)
-        metrics = row.metrics()
-        metric_names.update(metrics)
-        for name, value in metrics.items():
-            flat[f"metric_{name}"] = value
-        flattened.append(flat)
-    metric_columns = tuple(f"metric_{name}" for name in sorted(metric_names))
+    c = _obs.counters
+    count = 0
     if fmt == "jsonl":
-        lines = [
-            json.dumps(flat, sort_keys=True, separators=(",", ":"))
-            for flat in flattened
-        ]
-        return "\n".join(lines) + ("\n" if lines else "")
-    buffer = io.StringIO()
+        for row in make_rows():
+            flat = _flat_with_metrics(row)
+            if c is not None:
+                _note_row(c)
+            out.write(json.dumps(flat, sort_keys=True, separators=(",", ":")))
+            out.write("\n")
+            count += 1
+        return count
+    metric_names: set[str] = set()
+    for row in make_rows():
+        metric_names.update(row.metrics())
+        count += 1
+    metric_columns = tuple(f"metric_{name}" for name in sorted(metric_names))
     writer = csv.DictWriter(
-        buffer,
+        out,
         fieldnames=_IDENTITY_COLUMNS + metric_columns,
         restval="",
         lineterminator="\n",
     )
     writer.writeheader()
-    writer.writerows(flattened)
+    written = 0
+    for row in make_rows():
+        flat = _flat_with_metrics(row)
+        if c is not None:
+            _note_row(c)
+        writer.writerow(flat)
+        written += 1
+    if written != count:
+        raise ResultsError(
+            f"store changed during export: pass 1 saw {count} rows, "
+            f"pass 2 saw {written}"
+        )
+    return count
+
+
+def export_rows(rows: Iterable[StoredRow], fmt: str) -> str:
+    """Render an in-memory row collection in ``fmt`` (convenience API).
+
+    For store-backed exports prefer :func:`stream_export` (or the CLI),
+    which never materializes the rows; this helper exists for callers
+    that already hold a list of rows.
+    """
+    materialized = list(rows)
+    buffer = io.StringIO()
+    stream_export(lambda: iter(materialized), fmt, buffer)
     return buffer.getvalue()
 
 
@@ -105,6 +163,14 @@ def export_store(
     scenario: str | None = None,
     kind: str | None = None,
 ) -> tuple[str, int]:
-    """Export (optionally filtered) rows; returns ``(text, row_count)``."""
-    rows = store.rows(scenario=scenario, kind=kind)
-    return export_rows(rows, fmt), len(rows)
+    """Export (optionally filtered) rows; returns ``(text, row_count)``.
+
+    Streams the store (O(1) row buffer) but renders to a string; callers
+    with a file handle should pass it to :func:`stream_export` directly
+    to avoid holding the output text in memory too.
+    """
+    buffer = io.StringIO()
+    count = stream_export(
+        lambda: store.iter_rows(scenario=scenario, kind=kind), fmt, buffer
+    )
+    return buffer.getvalue(), count

@@ -26,10 +26,11 @@ import sqlite3
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from repro.engine.scenario import Trial, TrialResult
 from repro.errors import ResultsError
+from repro.obs import core as _obs
 from repro.results.codecs import codec_for, codec_version
 from repro.results.fingerprint import trial_fingerprint
 
@@ -143,8 +144,13 @@ class ResultStore:
             )
             .fetchone()
         )
+        c = _obs.counters
         if row is None:
+            if c is not None:
+                c.bump("store.cache_misses")
             return None
+        if c is not None:
+            c.bump("store.cache_hits")
         payload = codec_for(trial.kind).decode(row[0])
         return TrialResult(trial, payload, row[1], cached=True)
 
@@ -240,11 +246,10 @@ class ResultStore:
     def __len__(self) -> int:
         return self._connect().execute("SELECT COUNT(*) FROM results").fetchone()[0]
 
-    def rows(
-        self, *, scenario: str | None = None, kind: str | None = None
-    ) -> list[StoredRow]:
-        """Stored rows, optionally filtered, in deterministic order."""
-        query = f"SELECT {_COLUMNS} FROM results"
+    @staticmethod
+    def _filter_sql(
+        scenario: str | None, kind: str | None
+    ) -> tuple[str, list[Any]]:
         clauses, binds = [], []
         if scenario is not None:
             clauses.append("scenario = ?")
@@ -252,15 +257,44 @@ class ResultStore:
         if kind is not None:
             clauses.append("kind = ?")
             binds.append(kind)
-        if clauses:
-            query += " WHERE " + " AND ".join(clauses)
-        query += " ORDER BY scenario, topology, load, bmax, x, variant, seed"
-        out = []
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        return where, binds
+
+    def rows(
+        self, *, scenario: str | None = None, kind: str | None = None
+    ) -> list[StoredRow]:
+        """Stored rows, optionally filtered, in deterministic order."""
+        return list(self.iter_rows(scenario=scenario, kind=kind))
+
+    def iter_rows(
+        self, *, scenario: str | None = None, kind: str | None = None
+    ) -> Iterator[StoredRow]:
+        """Stream stored rows lazily, same filter and order as :meth:`rows`.
+
+        SQLite cursors fetch incrementally, so consumers that process
+        one row at a time (the streaming exporter) hold O(1) rows in
+        memory regardless of store size.
+        """
+        where, binds = self._filter_sql(scenario, kind)
+        query = (
+            f"SELECT {_COLUMNS} FROM results{where}"
+            " ORDER BY scenario, topology, load, bmax, x, variant, seed"
+        )
         for row in self._connect().execute(query, binds):
             values = list(row)
             values[9] = json.loads(values[9])  # x column back to Python
-            out.append(StoredRow(*values))
-        return out
+            yield StoredRow(*values)
+
+    def count(
+        self, *, scenario: str | None = None, kind: str | None = None
+    ) -> int:
+        """Row count under the same filter as :meth:`rows`/:meth:`iter_rows`."""
+        where, binds = self._filter_sql(scenario, kind)
+        return (
+            self._connect()
+            .execute(f"SELECT COUNT(*) FROM results{where}", binds)
+            .fetchone()[0]
+        )
 
     def summary(self) -> list[tuple[str, str, int, float]]:
         """Per-scenario rollup: (scenario, kind, rows, total elapsed s)."""

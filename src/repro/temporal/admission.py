@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.core.constants import EPSILON
 from repro.errors import LedgerError, SimulationError
+from repro.obs import core as _obs
 from repro.placement.base import Placement, Rejection
 from repro.placement.cloudmirror import CloudMirrorPlacer
 from repro.temporal.profile import TemporalProfile, TemporalTag
@@ -347,6 +348,9 @@ class TemporalLedger(SlotAccountingMixin):
             self._over.add(node_id)
         else:
             self._over.discard(node_id)
+        c = _obs.counters
+        if c is not None:
+            c.bump("temporal.journal_ops")
         return True
 
     def release_uplink(self, node: Node, up: float, down: float) -> None:

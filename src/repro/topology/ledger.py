@@ -29,6 +29,7 @@ from typing import Iterator
 
 from repro.core.constants import EPSILON
 from repro.errors import LedgerError
+from repro.obs import core as _obs
 from repro.topology.tree import Node, Topology
 
 __all__ = ["Ledger", "Journal", "SlotAccountingMixin"]
@@ -173,6 +174,13 @@ class SlotAccountingMixin:
         self._apply_slots(server_id, -count)
 
     def _apply_slots(self, server_id: int, count: int) -> None:
+        # Every slot mutation in the repo funnels through here (reserve,
+        # release, rollback) — one counter site covers them all.  The
+        # guard is the obs contract: one attribute load + identity test
+        # when instrumentation is off.
+        c = _obs.counters
+        if c is not None:
+            c.bump("ledger.slot_mutations")
         self._used_slots[server_id] += count
         down = self._down_cover
         if down is not None and down[server_id]:
@@ -379,6 +387,9 @@ class Ledger(SlotAccountingMixin):
         else:
             self._over.discard(node_id)
         journal.ops.append((OP_BANDWIDTH, node_id, prev_up, prev_down))
+        c = _obs.counters
+        if c is not None:
+            c.bump("ledger.journal_ops")
         return True
 
     def has_overcommit(self) -> bool:
@@ -422,6 +433,9 @@ class Ledger(SlotAccountingMixin):
     def rollback(self, journal: Journal, savepoint: int = 0) -> None:
         """Undo journalled operations back to ``savepoint`` (in reverse)."""
         ops = journal.ops
+        c = _obs.counters
+        if c is not None and len(ops) > savepoint:
+            c.bump("ledger.rollback_ops", len(ops) - savepoint)
         used_up = self._used_up
         used_down = self._used_down
         while len(ops) > savepoint:

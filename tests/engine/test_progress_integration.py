@@ -1,0 +1,80 @@
+"""Engine.run drives the ProgressReporter protocol: begin/update/close."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.engine import Engine, registry
+from repro.obs import ProgressReporter
+from repro.results import ResultStore
+
+
+def _scenario():
+    return registry.get("fig08").scenario.override(
+        pods=1, arrivals=20, loads=(0.4,), seeds=(0,)
+    )
+
+
+def _events(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_serial_run_emits_begin_trials_end():
+    stream = io.StringIO()
+    progress = ProgressReporter("json", stream=stream)
+    Engine(n_jobs=1).run(_scenario(), progress=progress)
+    events = _events(stream)
+    assert [e["event"] for e in events] == ["begin", "trial", "trial", "end"]
+    assert events[0]["total"] == 2 and events[0]["done"] == 0
+    assert events[-1]["done"] == 2
+    # Executed trials feed the latency estimate.
+    assert events[-1]["ema_seconds"] is not None
+
+
+def test_cache_hits_are_reported_up_front(tmp_path):
+    path = str(tmp_path / "runs.sqlite")
+    scenario = _scenario()
+    with ResultStore(path) as store:
+        Engine(n_jobs=1).run(scenario, store=store)
+        stream = io.StringIO()
+        progress = ProgressReporter("json", stream=stream)
+        Engine(n_jobs=1).run(scenario, store=store, progress=progress)
+    events = _events(stream)
+    # Fully cached: begin already reports everything done, no trial events.
+    assert [e["event"] for e in events] == ["begin", "end"]
+    assert events[0]["cache_hits"] == 2
+    assert events[0]["done"] == 2
+    assert events[0]["hit_rate"] == 1.0
+
+
+def test_parallel_run_updates_per_completion():
+    stream = io.StringIO()
+    progress = ProgressReporter("json", stream=stream)
+    scenario = registry.get("fig08").scenario.override(
+        pods=1, arrivals=20, loads=(0.4,), seeds=(0, 1)
+    )
+    Engine(n_jobs=2).run(scenario, progress=progress)
+    events = _events(stream)
+    assert [e["event"] for e in events] == (
+        ["begin"] + ["trial"] * 4 + ["end"]
+    )
+    assert events[0]["n_jobs"] == 2
+    assert events[-1]["done"] == 4
+
+
+def test_close_runs_even_when_a_trial_raises(monkeypatch):
+    from repro.engine import runners
+
+    def boom(trial):
+        raise RuntimeError("trial exploded")
+
+    monkeypatch.setitem(runners.RUNNERS, "rejection", boom)
+    stream = io.StringIO()
+    progress = ProgressReporter("json", stream=stream)
+    with pytest.raises(RuntimeError, match="trial exploded"):
+        Engine(n_jobs=1).run(_scenario(), progress=progress)
+    events = _events(stream)
+    assert events[-1]["event"] == "end"  # close() ran in the finally

@@ -1,0 +1,139 @@
+"""The obs core: counters, spans, timers, enable/disable semantics."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+from repro.obs import core
+
+
+class _SinkRecorder:
+    """Minimal recorder: collects (name, start, duration, args) tuples."""
+
+    def __init__(self) -> None:
+        self.records = []
+
+    def record(self, name, start, duration, args) -> None:
+        self.records.append((name, start, duration, args))
+
+
+class TestEnablement:
+    def test_disabled_is_the_default(self):
+        assert core.counters is None or os.environ.get(core.ENV_FLAG) == "1"
+        # Regardless of ambient state, a scope must restore it exactly.
+        before = (core.counters, core.recorder, os.environ.get(core.ENV_FLAG))
+        with core.enabled_scope():
+            assert core.enabled()
+            assert os.environ.get(core.ENV_FLAG) == "1"
+        assert (
+            core.counters,
+            core.recorder,
+            os.environ.get(core.ENV_FLAG),
+        ) == before
+
+    def test_enable_is_idempotent_and_preserves_values(self):
+        with core.enabled_scope() as counters:
+            counters.bump("x", 3)
+            core.enable()  # second enable must not reset the series
+            assert core.counters is counters
+            assert counters["x"] == 3
+
+    def test_disable_clears_everything(self, monkeypatch):
+        monkeypatch.setattr(core, "counters", core.Counters())
+        monkeypatch.setattr(core, "recorder", _SinkRecorder())
+        monkeypatch.setenv(core.ENV_FLAG, "1")
+        core.disable()
+        assert core.counters is None
+        assert core.recorder is None
+        assert core.ENV_FLAG not in os.environ
+
+    def test_env_flag_enables_fresh_interpreters(self):
+        # The spawn-worker contract: a fresh interpreter that imports the
+        # core with REPRO_OBS=1 in its environment starts enabled.
+        env = dict(os.environ, REPRO_OBS="1")
+        src = str(
+            next(p for p in sys.path if p.endswith("src"))
+            if any(p.endswith("src") for p in sys.path)
+            else ""
+        )
+        env["PYTHONPATH"] = src or env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.obs import core; print(core.enabled())"],
+            env=env, capture_output=True, text=True, check=True,
+        )
+        assert out.stdout.strip() == "True"
+
+
+class TestCounters:
+    def test_bump_and_snapshot(self):
+        with core.enabled_scope() as counters:
+            counters.bump("a")
+            counters.bump("a", 4)
+            core.count("b", 2)
+            snap = core.counter_snapshot()
+        assert snap["a"] == 5 and snap["b"] == 2
+
+    def test_count_is_noop_when_disabled(self, monkeypatch):
+        monkeypatch.setattr(core, "counters", None)
+        core.count("ignored")  # must not raise
+        assert core.counter_snapshot() == {}
+
+
+class TestSpans:
+    def test_null_span_when_no_recorder(self, monkeypatch):
+        monkeypatch.setattr(core, "recorder", None)
+        s = core.span("anything", detail=1)
+        assert s is core._NULL_SPAN
+        with s:
+            pass  # no-op either way
+
+    def test_live_span_records_on_exit(self, monkeypatch):
+        sink = _SinkRecorder()
+        monkeypatch.setattr(core, "recorder", sink)
+        with core.span("work", tenant="t1"):
+            pass
+        (name, start, duration, args), = sink.records
+        assert name == "work"
+        assert duration >= 0.0
+        assert args == {"tenant": "t1"}
+
+    def test_span_without_args_passes_none(self, monkeypatch):
+        sink = _SinkRecorder()
+        monkeypatch.setattr(core, "recorder", sink)
+        with core.span("bare"):
+            pass
+        assert sink.records[0][3] is None
+
+    def test_spans_nest(self, monkeypatch):
+        sink = _SinkRecorder()
+        monkeypatch.setattr(core, "recorder", sink)
+        with core.span("outer"):
+            with core.span("inner"):
+                pass
+        names = [r[0] for r in sink.records]
+        assert names == ["inner", "outer"]  # inner exits first
+        inner, outer = sink.records[0], sink.records[1]
+        # The inner interval is contained in the outer one.
+        assert outer[1] <= inner[1]
+        assert inner[1] + inner[2] <= outer[1] + outer[2] + 1e-9
+
+
+class TestTimer:
+    def test_timer_measures_even_when_disabled(self, monkeypatch):
+        monkeypatch.setattr(core, "recorder", None)
+        with core.timed("place") as timer:
+            sum(range(1000))
+        assert timer.seconds > 0.0
+
+    def test_timer_records_span_when_tracing(self, monkeypatch):
+        sink = _SinkRecorder()
+        monkeypatch.setattr(core, "recorder", sink)
+        with core.timed("place") as timer:
+            pass
+        (name, _, duration, args), = sink.records
+        assert name == "place"
+        assert args is None
+        assert duration == timer.seconds

@@ -1,0 +1,72 @@
+"""CLI logging: verbosity mapping, idempotence, warning capture."""
+
+from __future__ import annotations
+
+import io
+import logging
+import warnings
+
+from repro.obs.logconfig import setup_logging, verbosity_level
+
+
+def _reset():
+    for name in ("repro", "py.warnings"):
+        logger = logging.getLogger(name)
+        for handler in list(logger.handlers):
+            logger.removeHandler(handler)
+        logger.setLevel(logging.NOTSET)
+        logger.propagate = True
+    logging.captureWarnings(False)
+
+
+def test_verbosity_mapping_and_clamping():
+    assert verbosity_level(-1) == logging.ERROR
+    assert verbosity_level(0) == logging.WARNING
+    assert verbosity_level(1) == logging.INFO
+    assert verbosity_level(2) == logging.DEBUG
+    assert verbosity_level(5) == logging.DEBUG  # -vvvvv clamps
+    assert verbosity_level(-9) == logging.ERROR
+
+
+def test_levels_filter_messages():
+    try:
+        stream = io.StringIO()
+        setup_logging(0, stream=stream)
+        log = logging.getLogger("repro.engine")
+        log.info("hidden at default level")
+        log.warning("shown")
+        text = stream.getvalue()
+        assert "hidden" not in text
+        assert "WARNING repro.engine: shown" in text
+    finally:
+        _reset()
+
+
+def test_repeated_setup_does_not_stack_handlers():
+    try:
+        stream = io.StringIO()
+        for _ in range(3):
+            setup_logging(1, stream=stream)
+        logging.getLogger("repro").info("once")
+        assert stream.getvalue().count("once") == 1
+    finally:
+        _reset()
+
+
+def test_warnings_route_through_logging():
+    try:
+        stream = io.StringIO()
+        setup_logging(0, stream=stream)
+        with warnings.catch_warnings():
+            warnings.simplefilter("always")
+            warnings.warn("deprecated thing", stacklevel=2)
+        assert "deprecated thing" in stream.getvalue()
+        # -q silences warnings too (they log at WARNING).
+        quiet = io.StringIO()
+        setup_logging(-1, stream=quiet)
+        with warnings.catch_warnings():
+            warnings.simplefilter("always")
+            warnings.warn("now silenced", stacklevel=2)
+        assert quiet.getvalue() == ""
+    finally:
+        _reset()

@@ -1,0 +1,99 @@
+"""TraceRecorder export shape, event cap, nesting, Chrome-trace output."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import core
+from repro.obs.trace import MAX_EVENTS, TraceRecorder, chrome_trace
+
+
+class TestTraceRecorder:
+    def test_collects_spans_and_counter_deltas(self):
+        with core.enabled_scope() as counters:
+            counters.bump("preexisting", 7)
+            with TraceRecorder("t/cm#0") as rec:
+                assert core.recorder is rec
+                counters.bump("inside", 2)
+                counters.bump("preexisting", 1)
+                with core.span("phase-a"):
+                    pass
+                with core.span("phase-a"):
+                    pass
+                with core.timed("phase-b"):
+                    pass
+            assert core.recorder is None
+        export = rec.export()
+        assert export["label"] == "t/cm#0"
+        # Counter deltas, not absolutes: preexisting shows only the +1.
+        assert export["counters"] == {"inside": 2, "preexisting": 1}
+        assert export["phases"]["phase-a"]["count"] == 2
+        assert export["phases"]["phase-b"]["count"] == 1
+        assert len(export["events"]) == 3
+        assert export["dropped_events"] == 0
+
+    def test_export_is_json_native(self):
+        with core.enabled_scope():
+            with TraceRecorder("t") as rec:
+                with core.span("s", tenant="x"):
+                    pass
+        export = rec.export()
+        # Through real JSON text and back: equality must hold (this is
+        # the telemetry codec's round-trip contract).
+        assert json.loads(json.dumps(export)) == export
+
+    def test_event_cap_keeps_phase_totals(self):
+        with core.enabled_scope():
+            with TraceRecorder("t") as rec:
+                for _ in range(MAX_EVENTS + 10):
+                    rec.record("tick", 0.0, 1e-6, None)
+        export = rec.export()
+        assert len(export["events"]) == MAX_EVENTS
+        assert export["dropped_events"] == 10
+        # Phase aggregates keep counting past the cap.
+        assert export["phases"]["tick"]["count"] == MAX_EVENTS + 10
+
+    def test_nested_recorders_restore_the_outer_one(self):
+        with core.enabled_scope():
+            with TraceRecorder("outer") as outer:
+                with TraceRecorder("inner"):
+                    with core.span("belongs-to-inner"):
+                        pass
+                assert core.recorder is outer
+                with core.span("belongs-to-outer"):
+                    pass
+        assert "belongs-to-inner" not in outer.export()["phases"]
+        assert "belongs-to-outer" in outer.export()["phases"]
+
+
+class TestChromeTrace:
+    def _export(self, label="t/cm#0"):
+        with core.enabled_scope():
+            with TraceRecorder(label) as rec:
+                with core.span("place", tenant="a"):
+                    pass
+        return rec.export()
+
+    def test_tracks_and_events(self):
+        trace = chrome_trace([self._export("one"), self._export("two")])
+        events = trace["traceEvents"]
+        assert trace["displayTimeUnit"] == "ms"
+        names = [e for e in events if e["ph"] == "M"]
+        assert [e["args"]["name"] for e in names] == ["one", "two"]
+        assert {e["tid"] for e in names} == {1, 2}
+        xs = [e for e in events if e["ph"] == "X"]
+        assert all({"name", "ts", "dur", "pid", "tid"} <= set(e) for e in xs)
+        assert xs[0]["args"] == {"tenant": "a"}
+
+    def test_dropped_events_become_an_instant_marker(self):
+        export = self._export()
+        export["dropped_events"] = 5
+        trace = chrome_trace([export])
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "I"]
+        assert len(instants) == 1
+        assert "dropped 5" in instants[0]["name"]
+
+    def test_serializes_to_valid_json(self):
+        text = json.dumps(chrome_trace([self._export()]))
+        parsed = json.loads(text)
+        assert isinstance(parsed["traceEvents"], list)

@@ -85,6 +85,21 @@ def _failure_payload():
     return payload
 
 
+def _telemetry_payload():
+    # The shape TraceRecorder.export() produces: JSON-native throughout
+    # (events are lists, not tuples) so the round-trip is equality.
+    return {
+        "label": "codec-test/cm#0",
+        "phases": {"place": {"count": 3, "seconds": 0.0121},
+                   "trial.rejection": {"count": 1, "seconds": 0.5}},
+        "counters": {"ledger.slot_mutations": 42, "maxmin.solves": 7},
+        "events": [["trial.rejection", 0.0, 500000.0,
+                    {"scenario": "codec-test"}],
+                   ["place", 10.5, 121.0]],
+        "dropped_events": 0,
+    }
+
+
 def _temporal_payload():
     return {
         "windows": 4,
@@ -105,14 +120,17 @@ PAYLOAD_FACTORIES = {
     "temporal": _temporal_payload,
     "failure": _failure_payload,
     "bench": _bench_payload,
+    "telemetry": _telemetry_payload,
 }
 
 
 def test_every_runner_kind_has_a_codec_and_a_roundtrip_case():
-    # "bench" is not a runner kind: it holds smoke-bench trajectory
-    # points (repro bench track), but it must still round-trip like any
-    # other codec so `repro results gc` never reaps its rows.
-    assert set(codec_names()) == set(RUNNERS) | {"bench"}
+    # "bench" and "telemetry" are not runner kinds: bench holds
+    # smoke-bench trajectory points (repro bench track) and telemetry
+    # holds per-trial obs exports (repro run --telemetry), but both must
+    # still round-trip like any other codec so `repro results gc` never
+    # reaps their rows.
+    assert set(codec_names()) == set(RUNNERS) | {"bench", "telemetry"}
     assert set(PAYLOAD_FACTORIES) == set(codec_names())
 
 

@@ -11,7 +11,8 @@ import pytest
 from repro.cli import main
 from repro.engine import Engine, registry
 from repro.errors import ResultsError
-from repro.results import ResultStore, export_rows, export_store
+from repro.obs import core
+from repro.results import ResultStore, export_rows, export_store, stream_export
 
 RUN_FLAGS = ["--pods", "1", "--arrivals", "30", "--loads", "0.4",
              "--seeds", "0,1", "--jobs", "1"]
@@ -161,6 +162,63 @@ class TestOutputParity:
              "--output", "-"]
         ) == 0
         assert capsys.readouterr().out == default_text
+
+
+class TestStreaming:
+    """The exporter streams: O(1) row buffer, incremental writes."""
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    def test_stream_matches_materialized_export(self, populated, fmt):
+        buffer = io.StringIO()
+        with ResultStore(populated) as store:
+            count = stream_export(store.iter_rows, fmt, buffer)
+            materialized = export_rows(store.rows(), fmt)
+        assert count == 4
+        assert buffer.getvalue() == materialized
+
+    @pytest.mark.parametrize("fmt", ["csv", "jsonl"])
+    def test_row_buffer_peak_is_one(self, populated, fmt):
+        # The obs gauge records the peak number of simultaneously-live
+        # flattened rows: streaming must never hold more than one.
+        with core.enabled_scope() as counters:
+            with ResultStore(populated) as store:
+                stream_export(store.iter_rows, fmt, io.StringIO())
+            assert counters["export.row_buffer_peak"] == 1
+            assert counters["export.rows"] == 4
+
+    def test_iter_rows_is_lazy(self, populated):
+        with ResultStore(populated) as store:
+            iterator = store.iter_rows()
+            first = next(iterator)
+            assert first.scenario == "fig08"
+            # Matches the materialized accessor row-for-row.
+            rest = list(iterator)
+            assert [first, *rest] == store.rows()
+
+    def test_count_matches_rows(self, populated):
+        with ResultStore(populated) as store:
+            assert store.count() == len(store.rows()) == 4
+            assert store.count(scenario="fig08") == 4
+            assert store.count(scenario="other") == 0
+
+    def test_csv_detects_store_changes_between_passes(self, populated):
+        # CSV makes two passes; a store mutated in between must fail
+        # loudly rather than emit a silently-truncated file.
+        with ResultStore(populated) as store:
+            rows = store.rows()
+        calls = iter([rows, rows[:2]])
+
+        with pytest.raises(ResultsError, match="changed during export"):
+            stream_export(lambda: iter(next(calls)), "csv", io.StringIO())
+
+    def test_empty_filter_creates_no_file(self, populated, tmp_path, capsys):
+        dest = tmp_path / "never.csv"
+        assert main(
+            ["results", "export", populated, "--scenario", "nope",
+             "-o", str(dest)]
+        ) == 1
+        assert not dest.exists()
+        assert "no stored results" in capsys.readouterr().err
 
 
 class TestExportCli:
