@@ -1,0 +1,313 @@
+"""Benchmark: compiled placement kernels vs the pure-Python reference.
+
+Three measurements, each run under both kernel backends on identical
+inputs with the results asserted bit-identical before any timing ratio
+is recorded in ``BENCH_compiled_kernels.json``:
+
+* **ledger replay** — a recorded trace of paired reserve/release ops
+  replayed through the dispatched kernel boundary
+  (``_kernels.ledger_adjust`` / ``_kernels.temporal_adjust``), the exact
+  call the ledgers' ``adjust_uplink_id`` hot paths make.  The classic
+  single-plane ledger and the W-plane temporal ledger (W=12) replay the
+  same trace; end states (used/max columns, journal length, over set)
+  must match byte-for-byte between backends.  The headline is the
+  combined wall-clock ratio — the temporal plane dominates it, which
+  mirrors production: W-plane admission is where the interpreter spent
+  its time in the ``repro profile`` evidence that motivated this layer.
+* **secondnet ladder** — end-to-end ``SecondNetPlacer.place`` of a
+  10-tier, 1000-VM pipeline tenant (the candidate-cache bench's shape),
+  layouts asserted identical per backend.  This exercises the full
+  kernel set: pipe expansion, rack ordering, path feasibility, and the
+  fused per-pipe commit.
+* **py dispatch overhead** — the classic replay through the dispatch
+  shim forced to ``py`` vs calling ``pyref`` directly.  The shim is one
+  module-attribute indirection, so the ratio must sit at ~1.0: the
+  pure-Python stack pays nothing for the compiled backend existing.
+
+Scale knobs: ``REPRO_BENCH_KERNELS_OPS`` (replay trace length, default
+60000), ``REPRO_BENCH_KERNELS_VMS`` (ladder tenant size, default 1000).
+Floors: ``REPRO_BENCH_KERNELS_REPLAY_MIN_SPEEDUP`` (default 2.0),
+``REPRO_BENCH_KERNELS_LADDER_MIN_SPEEDUP`` (default 2.0), and
+``REPRO_BENCH_KERNELS_DISPATCH_MIN_RATIO`` (default 0.85, the ~1.0
+guard with headroom for timer noise).  Set floors to 0 on noisy shared
+runners, where the JSON artifact is the deliverable.  The whole module
+skips when the compiled extension is not built (``REPRO_BUILD_EXT=1
+pip install -e .``) — with one backend there is no ratio to measure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import _kernels
+from repro._kernels import pyref
+from repro.placement.base import Placement
+from repro.placement.secondnet import SecondNetPlacer
+from repro.temporal.admission import TemporalLedger
+from repro.temporal.profile import TemporalProfile
+from repro.topology.builder import DatacenterSpec, three_level_tree
+from repro.topology.ledger import _EPSILON, Journal, Ledger
+from repro.workloads.patterns import linear_chain
+
+if not _kernels.compiled_available:  # pragma: no cover - build-dependent
+    pytest.skip("compiled kernels not built", allow_module_level=True)
+
+OUTPUT = Path("BENCH_compiled_kernels.json")
+
+SPEC = DatacenterSpec(servers_per_rack=16, racks_per_pod=32, pods=8)
+WINDOWS = 12
+TIERS = 10
+REPEATS = 3
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def _env_float(name: str, default: float) -> float:
+    return float(os.environ.get(name, default))
+
+
+# ----------------------------------------------------------------------
+# ledger-op replay
+# ----------------------------------------------------------------------
+
+
+def _make_trace(n_nodes: int, n_ops: int) -> list[tuple[int, float, float]]:
+    """Paired reserve/release ops over random non-root nodes.
+
+    Releases are exact negations of earlier reserves on the same node,
+    so usage stays bounded and every op takes the full applied path —
+    an always-over ledger would let ``enforce`` refuse ops early and
+    time the cheap branch instead of the kernel.
+    """
+    rng = random.Random(11)
+    live: list[tuple[int, float, float]] = []
+    trace: list[tuple[int, float, float]] = []
+    for _ in range(n_ops):
+        if live and (rng.random() < 0.45 or len(live) > 4000):
+            node, delta_up, delta_down = live.pop(rng.randrange(len(live)))
+            trace.append((node, -delta_up, -delta_down))
+        else:
+            op = (
+                rng.randrange(1, n_nodes),
+                rng.uniform(0.5, 8.0),
+                rng.uniform(0.5, 8.0),
+            )
+            live.append(op)
+            trace.append(op)
+    return trace
+
+
+def _classic_replay(backend: str, trace) -> tuple[float, tuple]:
+    _kernels.use_backend(backend)
+    topology = three_level_tree(SPEC)
+    ledger = Ledger(topology)
+    journal = Journal()
+    adjust = _kernels.ledger_adjust
+    flat = topology.flat
+    used_up, used_down = ledger._used_up, ledger._used_down
+    over, ops = ledger._over, journal.ops
+    cap_up, cap_down = flat.cap_up, flat.cap_down
+    started = time.perf_counter()
+    for node, delta_up, delta_down in trace:
+        adjust(
+            used_up, used_down, cap_up, cap_down, over, ops, node,
+            delta_up, delta_down, True, _EPSILON,
+        )
+    elapsed = time.perf_counter() - started
+    return elapsed, (tuple(used_up), tuple(used_down), len(ops), sorted(over))
+
+
+def _temporal_replay(backend: str, trace) -> tuple[float, tuple]:
+    _kernels.use_backend(backend)
+    ledger = TemporalLedger(three_level_tree(SPEC), WINDOWS)
+    rng = random.Random(3)
+    ledger.set_ratios(
+        TemporalProfile(
+            tuple(rng.uniform(0.2, 1.0) for _ in range(WINDOWS))
+        )
+    )
+    journal = Journal()
+    adjust = _kernels.temporal_adjust
+    state = (
+        ledger._up, ledger._down, ledger._max_up, ledger._max_down,
+        ledger._cap_up, ledger._cap_down, ledger._over, journal.ops,
+        ledger._ratios,
+    )
+    started = time.perf_counter()
+    for node, delta_up, delta_down in trace:
+        adjust(
+            *state, node, WINDOWS, delta_up, delta_down, True, _EPSILON
+        )
+    elapsed = time.perf_counter() - started
+    return elapsed, (
+        tuple(ledger._up), tuple(ledger._down), tuple(ledger._max_up),
+        tuple(ledger._max_down), len(journal.ops), sorted(ledger._over),
+    )
+
+
+def _replay_rows(report: dict) -> None:
+    n_ops = _env_int("REPRO_BENCH_KERNELS_OPS", 60_000)
+    n_nodes = len(three_level_tree(SPEC).flat.parent)
+    trace = _make_trace(n_nodes, n_ops)
+    best = {"classic": {}, "temporal": {}}
+    for _ in range(REPEATS):
+        for variant, run in (
+            ("classic", _classic_replay),
+            ("temporal", _temporal_replay),
+        ):
+            py_elapsed, py_state = run("py", trace)
+            c_elapsed, c_state = run("c", trace)
+            assert py_state == c_state, (
+                f"{variant} replay: end state diverged between backends"
+            )
+            slot = best[variant]
+            slot["py"] = min(slot.get("py", float("inf")), py_elapsed)
+            slot["c"] = min(slot.get("c", float("inf")), c_elapsed)
+    py_total = best["classic"]["py"] + best["temporal"]["py"]
+    c_total = best["classic"]["c"] + best["temporal"]["c"]
+    speedup = round(py_total / c_total, 2)
+    report["ledger_replay"] = {
+        "ops": n_ops,
+        "windows": WINDOWS,
+        "classic_py_ms": round(best["classic"]["py"] * 1e3, 1),
+        "classic_c_ms": round(best["classic"]["c"] * 1e3, 1),
+        "classic_speedup": round(
+            best["classic"]["py"] / best["classic"]["c"], 2
+        ),
+        "temporal_py_ms": round(best["temporal"]["py"] * 1e3, 1),
+        "temporal_c_ms": round(best["temporal"]["c"] * 1e3, 1),
+        "temporal_speedup": round(
+            best["temporal"]["py"] / best["temporal"]["c"], 2
+        ),
+        "replay_speedup": speedup,
+    }
+    floor = _env_float("REPRO_BENCH_KERNELS_REPLAY_MIN_SPEEDUP", 2.0)
+    assert speedup >= floor, (
+        f"compiled ledger replay speedup regressed to {speedup:.2f}x"
+    )
+
+
+# ----------------------------------------------------------------------
+# secondnet ladder
+# ----------------------------------------------------------------------
+
+
+def _ladder_layout(result) -> object:
+    assert isinstance(result, Placement), result
+    return sorted(
+        (server.node_id, tuple(sorted(counts.items())))
+        for server, counts in result.allocation.iter_server_placements()
+    )
+
+
+def _ladder_once(backend: str, tenant) -> tuple[float, object]:
+    _kernels.use_backend(backend)
+    placer = SecondNetPlacer(Ledger(three_level_tree(SPEC)))
+    started = time.perf_counter()
+    result = placer.place(tenant)
+    elapsed = time.perf_counter() - started
+    return elapsed, _ladder_layout(result)
+
+
+def _ladder_rows(report: dict) -> None:
+    vms = _env_int("REPRO_BENCH_KERNELS_VMS", 1000)
+    per = vms // TIERS
+    sizes = [per] * TIERS
+    sizes[0] += vms - per * TIERS
+    tenant = linear_chain(f"kern-{vms}", sizes, [100.0] * (TIERS - 1))
+    py_best = c_best = float("inf")
+    for _ in range(REPEATS):
+        py_elapsed, py_layout = _ladder_once("py", tenant)
+        c_elapsed, c_layout = _ladder_once("c", tenant)
+        assert py_layout == c_layout, (
+            f"secondnet@{vms}: compiled backend placed VMs differently"
+        )
+        py_best = min(py_best, py_elapsed)
+        c_best = min(c_best, c_elapsed)
+    speedup = round(py_best / c_best, 2)
+    report["secondnet_ladder"] = {
+        "vms": vms,
+        "tiers": TIERS,
+        "pods": SPEC.pods,
+        "racks_per_pod": SPEC.racks_per_pod,
+        "py_ms": round(py_best * 1e3, 1),
+        "c_ms": round(c_best * 1e3, 1),
+        "ladder_speedup": speedup,
+    }
+    floor = _env_float("REPRO_BENCH_KERNELS_LADDER_MIN_SPEEDUP", 2.0)
+    assert speedup >= floor, (
+        f"compiled secondnet ladder speedup regressed to {speedup:.2f}x"
+    )
+
+
+# ----------------------------------------------------------------------
+# py-mode dispatch overhead
+# ----------------------------------------------------------------------
+
+
+def _direct_replay(trace) -> tuple[float, tuple]:
+    """The classic replay calling ``pyref`` directly (no dispatch)."""
+    topology = three_level_tree(SPEC)
+    ledger = Ledger(topology)
+    journal = Journal()
+    adjust = pyref.ledger_adjust
+    flat = topology.flat
+    used_up, used_down = ledger._used_up, ledger._used_down
+    over, ops = ledger._over, journal.ops
+    cap_up, cap_down = flat.cap_up, flat.cap_down
+    started = time.perf_counter()
+    for node, delta_up, delta_down in trace:
+        adjust(
+            used_up, used_down, cap_up, cap_down, over, ops, node,
+            delta_up, delta_down, True, _EPSILON,
+        )
+    elapsed = time.perf_counter() - started
+    return elapsed, (tuple(used_up), tuple(used_down), len(ops), sorted(over))
+
+
+def _dispatch_rows(report: dict) -> None:
+    n_nodes = len(three_level_tree(SPEC).flat.parent)
+    trace = _make_trace(n_nodes, _env_int("REPRO_BENCH_KERNELS_OPS", 60_000))
+    direct_best = dispatched_best = float("inf")
+    for _ in range(REPEATS + 2):  # cheap, so buy extra noise resistance
+        direct_elapsed, direct_state = _direct_replay(trace)
+        dispatched_elapsed, dispatched_state = _classic_replay("py", trace)
+        assert direct_state == dispatched_state
+        direct_best = min(direct_best, direct_elapsed)
+        dispatched_best = min(dispatched_best, dispatched_elapsed)
+    ratio = round(direct_best / dispatched_best, 3)
+    report["dispatch"] = {
+        "direct_ms": round(direct_best * 1e3, 1),
+        "dispatched_ms": round(dispatched_best * 1e3, 1),
+        "py_dispatch_ratio": ratio,
+    }
+    floor = _env_float("REPRO_BENCH_KERNELS_DISPATCH_MIN_RATIO", 0.85)
+    assert ratio >= floor, (
+        f"py-mode dispatch shim costs {(1 - ratio):.0%} — it must stay "
+        f"within noise of calling the reference directly"
+    )
+
+
+def test_compiled_kernels_before_after():
+    report = {
+        "benchmark": "compiled_kernels",
+        "python": platform.python_version(),
+        "backends": list(_kernels.available_backends()),
+    }
+    try:
+        _replay_rows(report)
+        _ladder_rows(report)
+        _dispatch_rows(report)
+    finally:
+        _kernels.use_backend("auto")
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))

@@ -12,6 +12,7 @@
     repro results list runs.sqlite   # inspect / aggregate stored runs
     repro trace export --store runs.sqlite -o trace.json  # Chrome trace
     repro profile fig08 --trials 2   # cProfile + obs counter summary
+    repro version                    # package + kernel backend diagnostics
     repro -v run fig08               # INFO logging (-vv DEBUG, -q errors)
     repro fig08 --pods 1             # shorthand for "run fig08 --pods 1"
 
@@ -65,6 +66,28 @@ def _list_scenarios() -> int:
         scenario = entry.scenario
         aliases = f" (alias: {', '.join(entry.aliases)})" if entry.aliases else ""
         print(f"  {scenario.name:<10} {scenario.title}{aliases}")
+    return 0
+
+
+def _version() -> int:
+    """``repro version`` — package, interpreter, and kernel diagnostics.
+
+    The kernel lines answer the first question a surprising benchmark
+    result raises: which backend actually ran, and why (requested value
+    vs what was available).
+    """
+    import platform
+
+    from repro import __version__
+    from repro._kernels import ENV_FLAG, available_backends, kernels_info
+
+    info = kernels_info()
+    print(f"repro {__version__} (python {platform.python_version()})")
+    print(
+        f"kernels: backend={info['backend']} "
+        f"(requested {ENV_FLAG}={info['requested']}, "
+        f"available: {', '.join(available_backends())})"
+    )
     return 0
 
 
@@ -270,6 +293,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if not argv or argv[0] in ("-h", "--help", "list"):
             return _list_scenarios()
+        if argv[0] in ("version", "--version"):
+            return _version()
         if argv[0] == "run":
             return _run(argv[1:])
         if argv[0] == "results":

@@ -9,6 +9,7 @@ from repro.models.hose import (
 from repro.models.pipe import (
     Pipe,
     PipeSet,
+    pipe_expansion,
     pipe_tag_from_tag,
     pipe_vm_demand,
     pipes_from_tag,
@@ -20,6 +21,7 @@ __all__ = [
     "HoseModel",
     "Pipe",
     "PipeSet",
+    "pipe_expansion",
     "VirtualCluster",
     "VocCluster",
     "VocModel",

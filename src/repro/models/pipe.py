@@ -19,6 +19,7 @@ from repro.errors import ModelError
 __all__ = [
     "Pipe",
     "PipeSet",
+    "pipe_expansion",
     "pipe_tag_from_tag",
     "pipes_from_tag",
     "vm_name",
@@ -31,7 +32,7 @@ def vm_name(tier: str, index: int) -> str:
     return f"{tier}:{index}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Pipe:
     """A directed VM-to-VM bandwidth guarantee."""
 
@@ -81,19 +82,31 @@ def pipe_vm_demand(pipes: PipeSet) -> Mapping[str, tuple[float, float]]:
     return {vm: (out, into) for vm, (out, into) in demand.items()}
 
 
-def pipes_from_tag(tag: Tag) -> PipeSet:
-    """Idealized pipe model of a TAG (§5.1, SecondNet comparison).
+def pipe_expansion(
+    tag: Tag,
+) -> tuple[tuple[str, ...], list[tuple[list[str], list[str], float, bool]]]:
+    """Flattened pipe expansion plan of a TAG: the VM names plus one
+    ``(src_tier, dst_tier, per_pair, self_loop)`` row per internal edge.
 
-    Each trunk aggregate ``B(u->v) = min(S*N_u, R*N_v)`` is divided evenly
-    over the ``N_u * N_v`` ordered pairs; each self-loop hose lets a VM send
-    ``SR`` split evenly over its ``N-1`` peers.  External components have no
-    placeable VMs and are skipped (pipes require concrete endpoints).
+    This is the O(edges) half of :func:`pipes_from_tag`: each trunk
+    aggregate ``B(u->v) = min(S*N_u, R*N_v)`` divided evenly over the
+    ``N_u * N_v`` ordered pairs, each self-loop hose letting a VM send
+    ``SR`` split evenly over its ``N-1`` peers.  External components have
+    no placeable VMs and are skipped (pipes require concrete endpoints),
+    as are self-loops on single-VM tiers (no peers to send to).  The
+    quadratic per-pair expansion of a row is left to the consumer —
+    :func:`pipes_from_tag` materializes ``Pipe`` objects from it, while
+    the SecondNet placer feeds the rows straight to the
+    ``expand_edges`` kernel and never builds the pipes at all.
     """
     vms: list[str] = []
+    names: dict[str, list[str]] = {}
     for component in tag.internal_components():
         assert component.size is not None
-        vms.extend(vm_name(component.name, i) for i in range(component.size))
-    pipes: list[Pipe] = []
+        tier = [vm_name(component.name, i) for i in range(component.size)]
+        names[component.name] = tier
+        vms.extend(tier)
+    plans: list[tuple[list[str], list[str], float, bool]] = []
     for edge in tag.iter_edges():
         src = tag.component(edge.src)
         dst = tag.component(edge.dst)
@@ -103,22 +116,54 @@ def pipes_from_tag(tag: Tag) -> PipeSet:
         if edge.is_self_loop:
             if src.size < 2:
                 continue
-            per_pair = edge.send / (src.size - 1)
-            for i in range(src.size):
-                for j in range(src.size):
-                    if i != j:
-                        pipes.append(
-                            Pipe(vm_name(src.name, i), vm_name(src.name, j), per_pair)
-                        )
+            tier = names[src.name]
+            plans.append((tier, tier, edge.send / (src.size - 1), True))
         else:
             aggregate = tag.edge_aggregate(edge)
             per_pair = aggregate / (src.size * dst.size)
-            for i in range(src.size):
-                for j in range(dst.size):
-                    pipes.append(
-                        Pipe(vm_name(src.name, i), vm_name(dst.name, j), per_pair)
-                    )
-    return PipeSet(name=tag.name, vms=tuple(vms), pipes=tuple(pipes))
+            plans.append((names[src.name], names[dst.name], per_pair, False))
+    return tuple(vms), plans
+
+
+def pipes_from_tag(tag: Tag) -> PipeSet:
+    """Idealized pipe model of a TAG (§5.1, SecondNet comparison).
+
+    Materializes the :func:`pipe_expansion` plan as concrete ``Pipe``
+    objects.  The expansion is quadratic per edge (SecondNet places
+    tenants with hundreds of thousands of pipes), so the bulk loops
+    build each frozen Pipe directly: endpoints are distinct by
+    construction and the per-pair rates non-negative (TAG guarantees
+    are), making the per-instance re-validation of Pipe()/PipeSet()
+    redundant here.
+    """
+    vms, plans = pipe_expansion(tag)
+    pipes: list[Pipe] = []
+    append = pipes.append
+    new = Pipe.__new__
+    fill = object.__setattr__
+    for src_tier, dst_tier, per_pair, self_loop in plans:
+        if self_loop:
+            for i, src_name in enumerate(src_tier):
+                for j, dst_name in enumerate(dst_tier):
+                    if i != j:
+                        pipe = new(Pipe)
+                        fill(pipe, "src", src_name)
+                        fill(pipe, "dst", dst_name)
+                        fill(pipe, "bandwidth", per_pair)
+                        append(pipe)
+        else:
+            for src_name in src_tier:
+                for dst_name in dst_tier:
+                    pipe = new(Pipe)
+                    fill(pipe, "src", src_name)
+                    fill(pipe, "dst", dst_name)
+                    fill(pipe, "bandwidth", per_pair)
+                    append(pipe)
+    pipe_set = PipeSet.__new__(PipeSet)
+    fill(pipe_set, "name", tag.name)
+    fill(pipe_set, "vms", vms)
+    fill(pipe_set, "pipes", tuple(pipes))
+    return pipe_set
 
 
 def pipe_tag_from_tag(tag: Tag) -> Tag:

@@ -56,6 +56,12 @@ def profile_main(argv: list[str] | None = None) -> int:
         help="also dump the raw profile to this path (pstats binary "
         "format, loadable with snakeviz / pstats.Stats)",
     )
+    parser.add_argument(
+        "--store",
+        help="persist the profiled trial results and their telemetry to "
+        "this results store (same rows as 'repro run --store "
+        "--telemetry'; combines with -o)",
+    )
     args = parser.parse_args(argv)
 
     from repro.engine import registry
@@ -77,6 +83,7 @@ def profile_main(argv: list[str] | None = None) -> int:
     )
 
     profiler = cProfile.Profile()
+    results = []
     # Counters on for the duration so the hot-path tallies line up with
     # the profile; per-trial TraceRecorders inside execute_trial snapshot
     # deltas, the scope's dict keeps the run-wide totals we print below.
@@ -84,11 +91,26 @@ def profile_main(argv: list[str] | None = None) -> int:
         profiler.enable()
         try:
             for trial in trials:
-                execute_trial(trial)
+                results.append(execute_trial(trial))
         finally:
             profiler.disable()
         totals = dict(counters)
 
+    if args.store:
+        # Recording happens after profiler.disable() so store I/O never
+        # pollutes the pstats table; the recorder is the engine's own
+        # hook, so the rows (trial + telemetry) match 'repro run
+        # --store --telemetry' exactly.
+        from repro.engine.engine import Engine
+        from repro.results import ResultStore
+
+        record = Engine._make_recorder(ResultStore(args.store))
+        for result in results:
+            record(result)
+        print(
+            f"recorded {len(results)} trial(s) to {args.store}",
+            file=sys.stderr,
+        )
     if args.output:
         profiler.dump_stats(args.output)
         print(f"wrote raw profile to {args.output}", file=sys.stderr)

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+from repro import _kernels
+from repro.core.constants import EPSILON as _EPSILON
 from repro.core.tag import Tag
-from repro.models.pipe import PipeSet, pipe_vm_demand, pipes_from_tag
+from repro.models.pipe import PipeSet, pipe_expansion, pipes_from_tag
+from repro.obs import core as _obs
 from repro.placement.base import Placement, PlacementResult, Rejection
 from repro.topology.ledger import Journal, Ledger
 from repro.topology.tree import Node
@@ -30,15 +33,29 @@ __all__ = ["SecondNetPlacer", "PipeAllocation"]
 class PipeAllocation:
     """Reservation record of one placed pipe-model tenant."""
 
-    def __init__(self, tag: Tag, pipes: PipeSet, ledger: Ledger) -> None:
+    def __init__(
+        self, tag: Tag, pipes: PipeSet | None, ledger: Ledger
+    ) -> None:
         self.tag = tag
-        self.pipes = pipes
+        # Deferred: the placer works from the flattened edge expansion
+        # and never touches Pipe objects, so the quadratic ``PipeSet``
+        # is only materialized if a consumer actually asks for it.
+        self._pipes = pipes
         self.ledger = ledger
         self.journal = Journal()
         self.vm_server: dict[str, Node] = {}
+        # Mirror of ``vm_server`` in node-id form, the shape the per-VM
+        # peer triples (and through them the path kernels) consume.
+        self.vm_server_ids: dict[str, int] = {}
         # Aggregate (up, down) reserved per node uplink, for release().
         self._reserved: dict[int, list[float]] = defaultdict(lambda: [0.0, 0.0])
         self.finalized = False
+
+    @property
+    def pipes(self) -> PipeSet:
+        if self._pipes is None:
+            self._pipes = pipes_from_tag(self.tag)
+        return self._pipes
 
     def record_reservation(self, node: Node, up: float, down: float) -> None:
         self.record_reservation_id(node.node_id, up, down)
@@ -60,6 +77,7 @@ class PipeAllocation:
                 node = self.ledger.topology.node(node_id)
                 self.ledger.release_uplink(node, up, down)
         self.vm_server.clear()
+        self.vm_server_ids.clear()
         self._reserved.clear()
 
     def iter_server_placements(self):
@@ -100,32 +118,38 @@ class SecondNetPlacer:
             self._index.track_racks()
         else:
             self._index = None
+        # Rack ids in enumeration order, the base order of the per-VM
+        # rack sweep (the rack_order kernel filters and sorts these).
+        self._rack_ids = [node.node_id for node in self.topology.level_nodes(1)]
 
     def place(self, tag: Tag) -> PlacementResult:
-        pipes = pipes_from_tag(tag)
-        if pipes.size > self.ledger.free_slots(self.topology.root):
+        # The flattened O(edges) plan, not the materialized PipeSet: the
+        # placer only ever needs the per-VM peer/demand expansion, which
+        # the kernel builds straight from the plan rows.
+        vms, plans = pipe_expansion(tag)
+        if len(vms) > self.ledger.free_slots(self.topology.root):
             return Rejection(tag, "not enough free VM slots in the datacenter")
-        allocation = PipeAllocation(tag, pipes, self.ledger)
-        neighbors: dict[str, list[tuple[str, float, bool]]] = defaultdict(list)
-        for pipe in pipes.iter_pipes():
-            # (peer, bandwidth, True when this VM is the sender)
-            neighbors[pipe.src].append((pipe.dst, pipe.bandwidth, True))
-            neighbors[pipe.dst].append((pipe.src, pipe.bandwidth, False))
-        demand = pipe_vm_demand(pipes)
-        order = sorted(
-            pipes.vms, key=lambda vm: sum(demand[vm]), reverse=True
-        )
+        allocation = PipeAllocation(tag, None, self.ledger)
+        # One pass builds the per-VM peer lists and the per-VM (out, in)
+        # demand; the sums accumulate in pipe order, exactly like
+        # :func:`repro.models.pipe.pipe_vm_demand`.
+        neighbors, demand = _kernels.expand_edges(plans, vms)
+        order = sorted(vms, key=lambda vm: sum(demand[vm]), reverse=True)
         # Per-server headroom for the *total* pipe demand of colocated
         # VMs: pipes toward not-yet-placed peers will need uplink
         # capacity later, so stacking demand-blind would dead-end (the
         # real SecondNet folds this into its bipartite matching).
         headroom: dict[int, list[float]] = {}
+        vm_ids = allocation.vm_server_ids
         for vm in order:
-            server = self._best_server(
-                allocation, vm, neighbors[vm], demand[vm], headroom
-            )
+            # Placed peers as (peer_server_id, bandwidth, outgoing)
+            # triples — the id form every downstream consumer (rack
+            # costs, hosted-peer classes, the path kernels) needs —
+            # built once per VM and shared by the search and the commit.
+            placed, hosted = _kernels.placed_peers(neighbors[vm], vm_ids)
+            server = self._best_server(placed, hosted, demand[vm], headroom)
             if server is None or not self._commit(
-                allocation, vm, server, neighbors[vm]
+                allocation, vm, server, placed
             ):
                 self.ledger.rollback(allocation.journal, 0)
                 return Rejection(tag, f"no feasible server for VM {vm!r}")
@@ -141,9 +165,8 @@ class SecondNetPlacer:
     # ------------------------------------------------------------------
     def _best_server(
         self,
-        allocation: PipeAllocation,
-        vm: str,
-        peers: list[tuple[str, float, bool]],
+        placed_peers: list[tuple[int, float, bool]],
+        hosted: dict[int, list[int]],
         vm_demand: tuple[float, float],
         headroom: dict[int, list[float]],
     ) -> Node | None:
@@ -152,19 +175,11 @@ class SecondNetPlacer:
         Racks are scored first (cost of reaching all placed peers), then
         the fullest feasible server inside the best rack is chosen, which
         keeps the search far below the full O(servers x peers) sweep.
+        ``hosted`` maps servers hosting a placed peer to that peer's
+        indices: such servers skip those pipes in the feasibility check,
+        so they are never equivalent to servers that don't.
         """
-        placed_peers = [
-            (allocation.vm_server[p], bw, out)
-            for p, bw, out in peers
-            if p in allocation.vm_server
-        ]
         ledger = self.ledger
-        # Servers hosting a placed peer skip that peer's pipes in the
-        # feasibility check, so they are never equivalent to servers
-        # that don't; map each such server to its hosted peer indices.
-        hosted: dict[int, list[int]] = {}
-        for index, (peer_server, _, _) in enumerate(placed_peers):
-            hosted.setdefault(peer_server.node_id, []).append(index)
         if self._index is not None:
             return self._best_server_indexed(placed_peers, vm_demand, headroom, hosted)
         racks = sorted(
@@ -195,7 +210,7 @@ class SecondNetPlacer:
 
     def _best_server_indexed(
         self,
-        placed_peers: list[tuple[Node, float, bool]],
+        placed_peers: list[tuple[int, float, bool]],
         vm_demand: tuple[float, float],
         headroom: dict[int, list[float]],
         hosted: dict[int, list[int]],
@@ -204,43 +219,22 @@ class SecondNetPlacer:
 
         Two changes, both bit-identical to the scan: the per-rack server
         order comes pre-maintained from the index instead of a per-VM
-        rebuild+sort, and the rack costs are computed once per
-        equivalence class — racks in the same pod hosting no placed peer
-        accumulate the exact same per-peer float sum (every term takes
-        the same pod/other branch in the same order), and racks hosting
-        a peer are their own class — then assigned by lookup.
+        rebuild+sort, and the whole rack sweep — the free-slot filter,
+        per-class costs (racks in the same pod hosting no placed peer
+        accumulate the exact same per-peer float sum, racks hosting a
+        peer are their own class), and the stable sort by cost — is one
+        :func:`_kernels.rack_order` call over the precomputed rack id
+        list.
         """
         ledger = self.ledger
         flat = self._flat
-        parent = flat.parent
         node_of = flat.node_of
         index = self._index
-        peer_rack_ids = {parent[server.node_id] for server, _, _ in placed_peers}
-        cost_of: dict[tuple[int, int], float] = {}
-
-        def rack_key(rack: Node) -> float:
-            rack_id = rack.node_id
-            klass = (
-                parent[rack_id],
-                rack_id if rack_id in peer_rack_ids else -1,
-            )
-            cost = cost_of.get(klass)
-            if cost is None:
-                cost = self._rack_cost(rack, placed_peers)
-                cost_of[klass] = cost
-            return cost
-
-        free_slots_id = ledger.free_slots_id
-        racks = sorted(
-            (
-                rack
-                for rack in self.topology.level_nodes(1)
-                if free_slots_id(rack.node_id) > 0
-            ),
-            key=rack_key,
+        order = _kernels.rack_order(
+            flat.parent, ledger._free_subtree, self._rack_ids, placed_peers
         )
-        for rack in racks:
-            entries = index.rack_candidates(rack.node_id)
+        for rack_id in order:
+            entries = index.rack_candidates(rack_id)
             if not entries:
                 continue
             found = self._first_feasible(
@@ -257,7 +251,7 @@ class SecondNetPlacer:
     def _first_feasible(
         self,
         candidates,
-        placed_peers: list[tuple[Node, float, bool]],
+        placed_peers: list[tuple[int, float, bool]],
         vm_demand: tuple[float, float],
         headroom: dict[int, list[float]],
         hosted: dict[int, list[int]],
@@ -291,7 +285,7 @@ class SecondNetPlacer:
         return None
 
     def _rack_cost(
-        self, rack: Node, placed_peers: list[tuple[Node, float, bool]]
+        self, rack: Node, placed_peers: list[tuple[int, float, bool]]
     ) -> float:
         # Inlined hop computation over the flat parent array: this runs
         # once per (rack, peer) pair for every VM placed.
@@ -299,8 +293,8 @@ class SecondNetPlacer:
         rack_id = rack.node_id
         pod_id = parent[rack_id]
         cost = 0.0
-        for server, bandwidth, _ in placed_peers:
-            peer_rack = parent[server.node_id]
+        for peer_id, bandwidth, _ in placed_peers:
+            peer_rack = parent[peer_id]
             if peer_rack == rack_id:
                 cost += bandwidth * 2
             elif parent[peer_rack] == pod_id:
@@ -326,21 +320,11 @@ class SecondNetPlacer:
         ``(node_id, is_up)`` pairs: the up direction on the source side
         of the LCA, the down direction on the destination side
         (destination side first, matching the reservation order the
-        pointer-walk implementation used).
+        pointer-walk implementation used).  The walk (including the
+        LCA) runs in the active :mod:`repro._kernels` backend.
         """
         flat = self._flat
-        parent = flat.parent
-        lca = flat.lca_id(src_id, dst_id)
-        links: list[tuple[int, bool]] = []
-        node_id = dst_id
-        while node_id != lca:
-            links.append((node_id, False))
-            node_id = parent[node_id]
-        node_id = src_id
-        while node_id != lca:
-            links.append((node_id, True))
-            node_id = parent[node_id]
-        return links
+        return _kernels.path_link_ids(flat.parent, flat.depth, src_id, dst_id)
 
     def _path_links(self, src: Node, dst: Node) -> list[tuple[Node, bool]]:
         """Node-level :meth:`_path_link_ids` (kept for introspection)."""
@@ -351,62 +335,64 @@ class SecondNetPlacer:
         ]
 
     def _feasible(
-        self, server: Node, placed_peers: list[tuple[Node, float, bool]]
+        self, server: Node, placed_peers: list[tuple[int, float, bool]]
     ) -> bool:
-        needed: dict[tuple[int, bool], float] = defaultdict(float)
-        server_id = server.node_id
-        for peer_server, bandwidth, outgoing in placed_peers:
-            if peer_server is server:
-                continue
-            peer_id = peer_server.node_id
-            if outgoing:
-                src_id, dst_id = server_id, peer_id
-            else:
-                src_id, dst_id = peer_id, server_id
-            for link in self._path_link_ids(src_id, dst_id):
-                needed[link] += bandwidth
+        """One fused path-demand accumulation + capacity check.
+
+        Path links sit strictly below the LCA, so they are never the
+        root and the kernel indexes the ledger's raw used/capacity
+        arrays directly (the root's ``inf`` special case cannot arise).
+        """
+        flat = self._flat
         ledger = self.ledger
-        for (node_id, is_up), amount in needed.items():
-            available = (
-                ledger.available_up_id(node_id)
-                if is_up
-                else ledger.available_down_id(node_id)
-            )
-            if amount > available:
-                return False
-        return True
+        return _kernels.pipes_feasible(
+            flat.parent,
+            flat.depth,
+            ledger._used_up,
+            ledger._used_down,
+            flat.cap_up,
+            flat.cap_down,
+            server.node_id,
+            placed_peers,
+        )
 
     def _commit(
         self,
         allocation: PipeAllocation,
         vm: str,
         server: Node,
-        peers: list[tuple[str, float, bool]],
+        placed_peers: list[tuple[int, float, bool]],
     ) -> bool:
         if not self.ledger.reserve_slots(server, 1, allocation.journal):
             return False
         ledger = self.ledger
         journal = allocation.journal
-        vm_server = allocation.vm_server
-        server_id = server.node_id
-        for peer, bandwidth, outgoing in peers:
-            if bandwidth == 0.0 or peer not in vm_server:
-                continue
-            peer_server = vm_server[peer]
-            if peer_server is server:
-                continue
-            peer_id = peer_server.node_id
-            if outgoing:
-                src_id, dst_id = server_id, peer_id
-            else:
-                src_id, dst_id = peer_id, server_id
-            for node_id, is_up in self._path_link_ids(src_id, dst_id):
-                delta_up = bandwidth if is_up else 0.0
-                delta_down = 0.0 if is_up else bandwidth
-                if not ledger.adjust_uplink_id(
-                    node_id, delta_up, delta_down, journal
-                ):
-                    return False
-                allocation.record_reservation_id(node_id, delta_up, delta_down)
-        vm_server[vm] = server
+        flat = self._flat
+        placed = [t for t in placed_peers if t[1] != 0.0]
+        # The whole per-VM pipe loop — path walk, per-link journalled
+        # adjust, reservation aggregation — is one kernel call; a mid-
+        # commit refusal leaves the partial journal for the caller's
+        # wholesale rollback, exactly like the unfused loop did.
+        before = len(journal.ops)
+        status = _kernels.commit_pipes(
+            flat.parent,
+            flat.depth,
+            ledger._used_up,
+            ledger._used_down,
+            flat.cap_up,
+            flat.cap_down,
+            ledger._over,
+            journal.ops,
+            allocation._reserved,
+            server.node_id,
+            placed,
+            _EPSILON,
+        )
+        c = _obs.counters
+        if c is not None and len(journal.ops) > before:
+            c.bump("ledger.journal_ops", len(journal.ops) - before)
+        if status != 0:
+            return False
+        allocation.vm_server[vm] = server
+        allocation.vm_server_ids[vm] = server.node_id
         return True

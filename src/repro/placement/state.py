@@ -25,10 +25,10 @@ arithmetic term-for-term so results are bit-identical.  A custom
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
+from repro import _kernels
 from repro.core.bandwidth import BandwidthDemand, uplink_requirement
 from repro.core.tag import Tag
 from repro.errors import ReproError, TagError
@@ -61,7 +61,6 @@ def _resize_tag(tag: Tag, tier: str, delta: int) -> Tag:
 RequirementFn = Callable[[Tag, Mapping[str, int]], BandwidthDemand]
 
 _ZERO = (0.0, 0.0)
-_INF = math.inf
 
 # Undo-log op tags (plain tuples, see the module docstring):
 #   (_OP_COUNT, node_id, tier, delta)
@@ -87,7 +86,9 @@ def _compile_uplink_requirement(tag: Tag) -> Callable[[Mapping[str, int]], tuple
     :func:`repro.core.bandwidth.uplink_requirement` (same edge order,
     same ``inf * 0 == 0`` convention, same accumulation order), minus
     the per-call component lookups and input validation — the counts it
-    sees are maintained internally and always in range.
+    sees are maintained internally and always in range.  Evaluation
+    dispatches through :mod:`repro._kernels` at call time, so the same
+    closure serves the pure-Python and the compiled backend.
     """
     edges = tuple(
         (
@@ -102,23 +103,7 @@ def _compile_uplink_requirement(tag: Tag) -> Callable[[Mapping[str, int]], tuple
     )
 
     def requirement(inside: Mapping[str, int]) -> tuple[float, float]:
-        out = 0.0
-        into = 0.0
-        get = inside.get
-        for src, dst, send, recv, src_size, dst_size in edges:
-            src_in = get(src, 0)
-            dst_in = get(dst, 0)
-            src_out = _INF if src_size is None else src_size - src_in
-            dst_out = _INF if dst_size is None else dst_size - dst_in
-            if src_in > 0 and dst_out > 0:
-                lhs = 0.0 if send == 0.0 or src_in == 0.0 else src_in * send
-                rhs = 0.0 if recv == 0.0 or dst_out == 0.0 else dst_out * recv
-                out += lhs if lhs < rhs else rhs
-            if src_out > 0 and dst_in > 0:
-                lhs = 0.0 if send == 0.0 or src_out == 0.0 else src_out * send
-                rhs = 0.0 if recv == 0.0 or dst_in == 0.0 else dst_in * recv
-                into += lhs if lhs < rhs else rhs
-        return out, into
+        return _kernels.eq1_requirement(edges, inside)
 
     return requirement
 
@@ -144,28 +129,7 @@ def _compile_voc_requirement(tag: Tag) -> Callable[[Mapping[str, int]], tuple[fl
     }
 
     def requirement(inside: Mapping[str, int]) -> tuple[float, float]:
-        send_inside = recv_outside = 0.0
-        send_outside = recv_inside = 0.0
-        get = inside.get
-        for src, dst, send, recv, src_size, dst_size in trunk:
-            src_in = get(src, 0)
-            dst_in = get(dst, 0)
-            src_out = _INF if src_size is None else src_size - src_in
-            dst_out = _INF if dst_size is None else dst_size - dst_in
-            send_inside += src_in * send
-            send_outside += 0.0 if send == 0 else src_out * send
-            recv_inside += dst_in * recv
-            recv_outside += 0.0 if recv == 0 else dst_out * recv
-        hose = 0.0
-        for name, count in inside.items():
-            loop = loops.get(name)
-            if loop is not None:
-                send, size = loop
-                hose += min(count, size - count) * send
-        return (
-            min(send_inside, recv_outside) + hose,
-            min(send_outside, recv_inside) + hose,
-        )
+        return _kernels.voc_requirement(trunk, loops, inside)
 
     return requirement
 

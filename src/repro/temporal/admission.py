@@ -49,6 +49,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import _kernels
 from repro.core.constants import EPSILON
 from repro.errors import LedgerError, SimulationError
 from repro.obs import core as _obs
@@ -77,6 +78,10 @@ _EPSILON = EPSILON
 # — one record undoing the mutation on every plane at once.
 _OP_SLOTS = OP_SLOTS
 _OP_BANDWIDTH = 1
+
+# The temporal adjust kernel journals _OP_BANDWIDTH records itself; the
+# tag value is part of the kernel contract (see repro._kernels.pyref).
+assert _OP_BANDWIDTH == 1
 
 
 class TemporalPlaneView:
@@ -134,6 +139,7 @@ class TemporalLedger(SlotAccountingMixin):
     def __init__(self, topology: Topology, windows: int) -> None:
         if windows < 1:
             raise SimulationError("need at least one time window")
+        _kernels.note_backend()
         self.topology = topology
         # The flat array view the placement machinery drives its path
         # walks from (shared by every plane; structure is per-topology).
@@ -301,53 +307,39 @@ class TemporalLedger(SlotAccountingMixin):
         journal: Journal,
         enforce: bool = True,
     ) -> bool:
-        """One fused scaled-delta + feasibility check across all planes."""
+        """One fused scaled-delta + feasibility check across all planes.
+
+        The column read-modify-write (scaled deltas, negativity check,
+        clamp, maxima, journal record) runs in the active
+        :mod:`repro._kernels` backend; this wrapper keeps the root fast
+        path, the error raise, and the obs counter.
+        """
         if node_id == self._root_id:
             return True
-        windows = self.windows
-        base = node_id * windows
-        up = self._up
-        down = self._down
-        ratios = self._ratios
-        prev_up = up[base : base + windows]
-        prev_down = down[base : base + windows]
-        new_up = [p + delta_up * r for p, r in zip(prev_up, ratios)]
-        new_down = [p + delta_down * r for p, r in zip(prev_down, ratios)]
-        if delta_up < 0.0 or delta_down < 0.0:
-            # Columns can only dip negative on a release-style delta.
-            if min(new_up) < -_EPSILON or min(new_down) < -_EPSILON:
-                name = self.flat.node_of[node_id].name  # type: ignore[union-attr]
-                raise LedgerError(
-                    f"uplink reservation on {name!r} would become negative"
-                )
-            new_up = [v if v > 0.0 else 0.0 for v in new_up]
-            new_down = [v if v > 0.0 else 0.0 for v in new_down]
-        max_up = max(new_up)
-        max_down = max(new_down)
-        over = (
-            max_up > self._cap_up[node_id] + _EPSILON
-            or max_down > self._cap_down[node_id] + _EPSILON
+        status = _kernels.temporal_adjust(
+            self._up,
+            self._down,
+            self._max_up,
+            self._max_down,
+            self._cap_up,
+            self._cap_down,
+            self._over,
+            journal.ops,
+            self._ratios,
+            node_id,
+            self.windows,
+            delta_up,
+            delta_down,
+            enforce,
+            _EPSILON,
         )
-        if enforce and over:
-            return False
-        up[base : base + windows] = new_up
-        down[base : base + windows] = new_down
-        journal.ops.append(
-            (
-                _OP_BANDWIDTH,
-                node_id,
-                prev_up,
-                prev_down,
-                self._max_up[node_id],
-                self._max_down[node_id],
+        if status == 2:
+            name = self.flat.node_of[node_id].name  # type: ignore[union-attr]
+            raise LedgerError(
+                f"uplink reservation on {name!r} would become negative"
             )
-        )
-        self._max_up[node_id] = max_up
-        self._max_down[node_id] = max_down
-        if over:
-            self._over.add(node_id)
-        else:
-            self._over.discard(node_id)
+        if status != 0:
+            return False
         c = _obs.counters
         if c is not None:
             c.bump("temporal.journal_ops")

@@ -27,6 +27,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro import _kernels
 from repro.core.constants import EPSILON
 from repro.errors import LedgerError
 from repro.obs import core as _obs
@@ -53,6 +54,10 @@ _EPSILON = EPSILON
 OP_SLOTS = 0
 OP_BANDWIDTH = 1
 OP_MASK = 2
+
+# The adjust kernels journal OP_BANDWIDTH records themselves; the tag
+# value is part of the kernel contract (see repro._kernels.pyref).
+assert OP_BANDWIDTH == 1
 
 
 @dataclass
@@ -203,6 +208,7 @@ class Ledger(SlotAccountingMixin):
     """Mutable reservation state over an immutable :class:`Topology`."""
 
     def __init__(self, topology: Topology) -> None:
+        _kernels.note_backend()
         self._topology = topology
         flat = topology.flat
         self.flat = flat
@@ -359,34 +365,35 @@ class Ledger(SlotAccountingMixin):
         journal: Journal,
         enforce: bool = True,
     ) -> bool:
-        """Id-indexed :meth:`adjust_uplink` (the placement hot path)."""
+        """Id-indexed :meth:`adjust_uplink` (the placement hot path).
+
+        The fused adjust + feasibility check + journal append runs in
+        the active :mod:`repro._kernels` backend; this wrapper keeps
+        only the root fast path, the error raise, and the obs counter.
+        """
         if node_id == self._root_id:
             return True
-        used_up = self._used_up
-        used_down = self._used_down
-        prev_up = used_up[node_id]
-        prev_down = used_down[node_id]
-        new_up = prev_up + delta_up
-        new_down = prev_down + delta_down
-        if new_up < -_EPSILON or new_down < -_EPSILON:
-            name = self.flat.node_of[node_id].name  # type: ignore[union-attr]
+        flat = self.flat
+        status = _kernels.ledger_adjust(
+            self._used_up,
+            self._used_down,
+            flat.cap_up,
+            flat.cap_down,
+            self._over,
+            journal.ops,
+            node_id,
+            delta_up,
+            delta_down,
+            enforce,
+            _EPSILON,
+        )
+        if status == 2:
+            name = flat.node_of[node_id].name  # type: ignore[union-attr]
             raise LedgerError(
                 f"uplink reservation on {name!r} would become negative"
             )
-        flat = self.flat
-        over = (
-            new_up > flat.cap_up[node_id] + _EPSILON
-            or new_down > flat.cap_down[node_id] + _EPSILON
-        )
-        if enforce and over:
+        if status != 0:
             return False
-        used_up[node_id] = new_up if new_up > 0.0 else 0.0
-        used_down[node_id] = new_down if new_down > 0.0 else 0.0
-        if over:
-            self._over.add(node_id)
-        else:
-            self._over.discard(node_id)
-        journal.ops.append((OP_BANDWIDTH, node_id, prev_up, prev_down))
         c = _obs.counters
         if c is not None:
             c.bump("ledger.journal_ops")

@@ -1,0 +1,49 @@
+"""Backend parity over the golden trial grid: py vs c, byte-identical.
+
+The golden grid (``tests/engine/test_golden_equivalence.py``) covers
+every placer the kernels serve — CM, OVOC, HA variants, SecondNet, the
+W-plane temporal ledger, and the failure stack.  This suite re-executes
+the full grid under each kernel backend and asserts the rows are
+byte-identical: equal trial fingerprints (store cache keys) and equal
+canonical payload hashes (placement decisions and metrics).  Any
+floating-point divergence in the compiled kernels — an FMA contraction,
+a reordered accumulation, a different NaN clamp — lands here as a
+payload-hash mismatch naming the trial.
+
+Skips without the compiled extension: a single backend cannot diverge
+from itself (the golden fixture test already pins it to the recorded
+rows).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import _kernels
+
+if not _kernels.compiled_available:  # pragma: no cover - build-dependent
+    pytest.skip("compiled kernels not built", allow_module_level=True)
+
+from tests.engine.test_golden_equivalence import compute_golden
+
+
+def test_golden_rows_identical_under_both_backends():
+    try:
+        _kernels.use_backend("py")
+        py_rows = compute_golden()
+        _kernels.use_backend("c")
+        c_rows = compute_golden()
+    finally:
+        _kernels.use_backend("auto")
+    assert len(py_rows) == len(c_rows)
+    for py_row, c_row in zip(py_rows, c_rows):
+        label = (
+            f"{py_row['scenario']}/{py_row['variant']}@{py_row['load']}"
+        )
+        assert py_row["fingerprint"] == c_row["fingerprint"], (
+            f"{label}: trial fingerprint differs between kernel backends"
+        )
+        assert py_row["payload_sha256"] == c_row["payload_sha256"], (
+            f"{label}: canonical payload differs between kernel backends "
+            f"— the compiled kernels are not bit-exact on this trial"
+        )

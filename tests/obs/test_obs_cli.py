@@ -33,6 +33,40 @@ class TestProfileCommand:
         stats = pstats.Stats(str(out))
         assert stats.total_calls > 0
 
+    def test_sort_key_is_applied(self, capsys):
+        assert profile_main(
+            ["runtime", "--trials", "1", "--sort", "tottime", "--top", "3"]
+        ) == 0
+        assert "internal time" in capsys.readouterr().out
+
+    def test_store_persists_trials_and_telemetry(self, tmp_path, capsys):
+        path = str(tmp_path / "profiled.sqlite")
+        assert profile_main(
+            ["runtime", "--trials", "2", "--store", path]
+        ) == 0
+        assert "recorded 2 trial(s)" in capsys.readouterr().err
+        with ResultStore(path) as store:
+            trial_rows = store.rows(kind="runtime")
+            telemetry_rows = store.rows(kind="telemetry")
+        # One trial row and one telemetry row per profiled trial — the
+        # same shape 'repro run --store --telemetry' would leave behind.
+        assert len(trial_rows) == 2
+        assert len(telemetry_rows) == 2
+        assert all(row.payload() is not None for row in telemetry_rows)
+
+    def test_store_combines_with_output(self, tmp_path, capsys):
+        path = str(tmp_path / "profiled.sqlite")
+        out = tmp_path / "runtime.pstats"
+        assert profile_main(
+            ["runtime", "--trials", "1", "--store", path, "-o", str(out)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "recorded 1 trial(s)" in err
+        assert "wrote raw profile" in err
+        assert pstats.Stats(str(out)).total_calls > 0
+        with ResultStore(path) as store:
+            assert store.count(kind="runtime") == 1
+
     def test_unknown_scenario_fails_cleanly(self, capsys):
         assert profile_main(["nope"]) == 2
         assert "nope" in capsys.readouterr().out

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -185,6 +186,36 @@ class TestCli:
             )
             == 1
         )
+
+    def test_track_bootstraps_from_the_shipped_reports(self, tmp_path, capsys):
+        """Every ``BENCH_*.json`` checked into the repo root must ingest.
+
+        The shipped reports seed a fresh trajectory store (the CI jobs
+        and a new checkout both start from them), so a report drifting
+        away from the codec contract — losing its ``benchmark`` key,
+        ceasing to parse — should fail tier-1, not the next bench run.
+        """
+        repo_root = Path(__file__).resolve().parents[2]
+        shipped = sorted(repo_root.glob("BENCH_*.json"))
+        names = {path.name for path in shipped}
+        assert "BENCH_compiled_kernels.json" in names
+        assert len(shipped) >= 7, f"expected the shipped reports, got {names}"
+        store_path = str(tmp_path / "traj.sqlite")
+        args = ["bench", "track", store_path]
+        args.extend(str(path) for path in shipped)
+        assert repro_main(args) == 0
+        assert f"{len(shipped)} new point(s)" in capsys.readouterr().out
+        with ResultStore(store_path) as store:
+            rows = trajectory_rows(store)
+            # One trajectory series per distinct benchmark name.
+            assert len(rows) == len(shipped)
+            for benchmark, points in rows.items():
+                assert len(points) == 1, benchmark
+                assert points[0].payload()["benchmark"] == benchmark
+            # The perf reports must expose gated metrics (obs_overhead
+            # legitimately has none: it records overhead ratios, not
+            # speedups or throughputs).
+            assert rows["compiled_kernels"][0].metrics()
 
     def test_results_gc_vacuum(self, tmp_path, capsys):
         store_path = str(tmp_path / "traj.sqlite")
