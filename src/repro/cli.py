@@ -18,7 +18,8 @@
 
 ``run`` accepts grid overrides (``--seeds``, ``--loads``, ``--bmax``,
 ``--placers``, ``--pods``, ``--arrivals``) that rewrite the registered
-scenario's axes, plus ``--jobs N`` to execute the trial matrix over N
+scenario's axes — plus ``--load-profile {poisson,diurnal}`` for the
+service kind's arrival shape — plus ``--jobs N`` to execute the trial matrix over N
 worker processes (``--jobs 0`` = one per CPU; default: ``os.cpu_count()``
 capped at 8, serial for wall-clock kinds).  ``--store PATH`` makes the
 run persistent: already-computed trials are served from the store and
@@ -76,17 +77,32 @@ def _version() -> int:
     result raises: which backend actually ran, and why (requested value
     vs what was available).
     """
+    import os
     import platform
+
+    import numpy
 
     from repro import __version__
     from repro._kernels import ENV_FLAG, available_backends, kernels_info
+    from repro.obs import core as obs
 
     info = kernels_info()
     print(f"repro {__version__} (python {platform.python_version()})")
+    print(f"numpy {numpy.__version__}")
     print(
         f"kernels: backend={info['backend']} "
         f"(requested {ENV_FLAG}={info['requested']}, "
         f"available: {', '.join(available_backends())})"
+    )
+    # Environment toggles, as set vs unset: the second question a
+    # surprising run raises is which switches it inherited.
+    kernels_env = os.environ.get(ENV_FLAG)
+    obs_env = os.environ.get(obs.ENV_FLAG)
+    print(
+        f"env: {ENV_FLAG}="
+        f"{kernels_env if kernels_env is not None else '(unset)'} "
+        f"{obs.ENV_FLAG}={obs_env if obs_env is not None else '(unset)'} "
+        f"(obs {'enabled' if obs.enabled() else 'disabled'})"
     )
     return 0
 
@@ -121,6 +137,13 @@ def _build_run_parser() -> argparse.ArgumentParser:
     parser.add_argument("--pods", type=int, help="datacenter pods")
     parser.add_argument("--arrivals", type=int, help="tenant arrivals per trial")
     parser.add_argument(
+        "--load-profile",
+        choices=("poisson", "diurnal"),
+        default=None,
+        help="arrival shape for service-kind scenarios: flat Poisson "
+        "rate or a cyclic day/night profile",
+    )
+    parser.add_argument(
         "--progress",
         choices=("live", "json", "off"),
         default=None,
@@ -150,17 +173,27 @@ _FLAG_AXES = (
 def _unsupported_flags(scenario: Scenario, args: argparse.Namespace) -> list[str]:
     """Overrides the scenario's kind would silently ignore."""
     supported = kind_axes(scenario.kind)
-    return [
+    flags = [
         f"--{flag}"
         for flag, axis in _FLAG_AXES
         if getattr(args, flag) is not None and axis not in supported
     ]
+    # Not a grid axis: the arrival shape is a service-runner param, so
+    # it rides on params rather than _FLAG_AXES.
+    if args.load_profile is not None and scenario.kind != "service":
+        flags.append("--load-profile")
+    return flags
 
 
 def _apply_overrides(scenario: Scenario, args: argparse.Namespace) -> Scenario:
     variants = None
     if args.placers:
         variants = tuple(Variant(name) for name in args.placers)
+    params = None
+    if args.load_profile is not None:
+        merged = dict(scenario.params)
+        merged["load_profile"] = args.load_profile
+        params = tuple(sorted(merged.items()))
     return scenario.override(
         seeds=args.seeds,
         loads=args.loads,
@@ -168,6 +201,7 @@ def _apply_overrides(scenario: Scenario, args: argparse.Namespace) -> Scenario:
         variants=variants,
         pods=args.pods,
         arrivals=args.arrivals,
+        params=params,
     )
 
 

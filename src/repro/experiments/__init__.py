@@ -20,6 +20,7 @@ from repro.experiments import (
     failure_sweep,
     inference_ami,
     runtime_scaling,
+    service_loop,
     table1_reserved_bw,
     temporal_savings,
 )
@@ -38,6 +39,7 @@ EXPERIMENTS = {
     "runtime": runtime_scaling,
     "inference": inference_ami,
     "temporal": temporal_savings,
+    "service": service_loop,
     "failure": failure_sweep,
 }
 

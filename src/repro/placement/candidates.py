@@ -300,6 +300,30 @@ class CandidateIndex:
     # ------------------------------------------------------------------
     # introspection (tests)
     # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Entry counts: the index's live footprint, O(topology) always.
+
+        Levels build once and repair in place (del/insort), so these
+        numbers are a function of the topology, not of how many events
+        have flowed through the ledger — the service loop exports them
+        as an obs gauge and a test pins that they stay constant across
+        runs of very different lengths.
+        """
+        return {
+            "levels_built": sum(
+                1 for entries in self._level_entries if entries is not None
+            ),
+            "level_entries": sum(
+                len(entries)
+                for entries in self._level_entries
+                if entries is not None
+            ),
+            "racks_built": len(self._rack_entries),
+            "rack_entries": sum(
+                len(entries) for entries in self._rack_entries.values()
+            ),
+        }
+
     def pending_dirty(self) -> dict[int, frozenset[int]]:
         """Currently-dirty node ids per level (empty once repaired)."""
         return {

@@ -25,6 +25,7 @@ layout fits.
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass
 
 from repro.core.bandwidth import trunk_saving, uplink_requirement
@@ -38,6 +39,11 @@ from repro.placement.ha import (
 )
 from repro.placement.state import TenantAllocation
 from repro.topology.ledger import Ledger
+
+# External (out-of-TAG) demand is a pure function of the tag; keyed by
+# identity so pool tenants hit after their first placement and ephemeral
+# tags are dropped with their last reference.
+_DEMAND_CACHE: "weakref.WeakKeyDictionary[Tag, object]" = weakref.WeakKeyDictionary()
 from repro.topology.tree import Node
 
 __all__ = ["CloudMirrorPlacer"]
@@ -245,10 +251,17 @@ class CloudMirrorPlacer:
         return None
 
     def _external_demand(self, tag: Tag):
+        # Pure function of the tag; pool tenants are placed thousands of
+        # times in a service run, so memoize per tag identity.
+        cached = _DEMAND_CACHE.get(tag)
+        if cached is not None:
+            return cached
         all_inside = {
             c.name: c.size for c in tag.internal_components() if c.size is not None
         }
-        return uplink_requirement(tag, all_inside)
+        demand = uplink_requirement(tag, all_inside)
+        _DEMAND_CACHE[tag] = demand
+        return demand
 
     def _root_path_available(self, node: Node, demand) -> bool:
         if demand.out == 0.0 and demand.into == 0.0:

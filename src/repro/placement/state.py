@@ -25,6 +25,7 @@ arithmetic term-for-term so results are bit-identical.  A custom
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Iterator, Mapping
 
@@ -79,6 +80,20 @@ class Savepoint:
     state_ops: int
 
 
+# Per-tag compile caches.  The compiled requirement closures and tier
+# metadata are pure functions of the (immutable-once-built) Tag, so
+# allocations of the same pool tenant share one compilation instead of
+# re-walking the edge table per placement — the service loop places the
+# same ~80 pool tags millions of times.  Keys are weak: a pool being
+# garbage-collected drops its entries, and Tags hash by identity, so a
+# *mutated* tag object is simply a different key only if rebuilt (the
+# repo never mutates a tag after placement starts; resize builds a new
+# Tag).
+_EQ1_CACHE: "weakref.WeakKeyDictionary[Tag, Callable]" = weakref.WeakKeyDictionary()
+_VOC_CACHE: "weakref.WeakKeyDictionary[Tag, Callable]" = weakref.WeakKeyDictionary()
+_META_CACHE: "weakref.WeakKeyDictionary[Tag, tuple]" = weakref.WeakKeyDictionary()
+
+
 def _compile_uplink_requirement(tag: Tag) -> Callable[[Mapping[str, int]], tuple[float, float]]:
     """Compile Eq. 1 for ``tag`` into a closure over a flat edge table.
 
@@ -90,6 +105,9 @@ def _compile_uplink_requirement(tag: Tag) -> Callable[[Mapping[str, int]], tuple
     dispatches through :mod:`repro._kernels` at call time, so the same
     closure serves the pure-Python and the compiled backend.
     """
+    cached = _EQ1_CACHE.get(tag)
+    if cached is not None:
+        return cached
     edges = tuple(
         (
             edge.src,
@@ -105,11 +123,15 @@ def _compile_uplink_requirement(tag: Tag) -> Callable[[Mapping[str, int]], tuple
     def requirement(inside: Mapping[str, int]) -> tuple[float, float]:
         return _kernels.eq1_requirement(edges, inside)
 
+    _EQ1_CACHE[tag] = requirement
     return requirement
 
 
 def _compile_voc_requirement(tag: Tag) -> Callable[[Mapping[str, int]], tuple[float, float]]:
     """Compile the footnote-7 VOC requirement for ``tag`` (see above)."""
+    cached = _VOC_CACHE.get(tag)
+    if cached is not None:
+        return cached
     trunk = tuple(
         (
             edge.src,
@@ -131,7 +153,21 @@ def _compile_voc_requirement(tag: Tag) -> Callable[[Mapping[str, int]], tuple[fl
     def requirement(inside: Mapping[str, int]) -> tuple[float, float]:
         return _kernels.voc_requirement(trunk, loops, inside)
 
+    _VOC_CACHE[tag] = requirement
     return requirement
+
+
+def _tag_metadata(tag: Tag) -> tuple:
+    """Cached ``(tier_sizes, internal_tiers, size)`` for one tag."""
+    cached = _META_CACHE.get(tag)
+    if cached is None:
+        cached = (
+            {name: component.size for name, component in tag.components.items()},
+            tuple(c.name for c in tag.internal_components()),
+            tag.size,
+        )
+        _META_CACHE[tag] = cached
+    return cached
 
 
 class TenantAllocation:
@@ -191,13 +227,8 @@ class TenantAllocation:
                     return demand.out, demand.into
 
                 self._require = generic
-        self._tier_sizes = {
-            name: component.size for name, component in tag.components.items()
-        }
-        self._internal_tiers = tuple(
-            c.name for c in tag.internal_components()
-        )
-        self._tag_size = tag.size
+        # Shared, never mutated: see _tag_metadata / the module caches.
+        self._tier_sizes, self._internal_tiers, self._tag_size = _tag_metadata(tag)
         self._compiled_for = tag
 
     # ------------------------------------------------------------------

@@ -266,6 +266,67 @@ def _temporal_metrics(payload: dict) -> dict[str, float]:
     }
 
 
+_SERVICE_INT_FIELDS = (
+    "arrivals",
+    "accepted",
+    "rejected",
+    "departures",
+    "vms_total",
+    "vms_rejected",
+    "cohorts",
+    "max_cohort",
+    "cohort",
+)
+
+_SERVICE_FLOAT_FIELDS = (
+    "bw_total",
+    "bw_rejected",
+    "rejection_rate",
+    "windowed_rejection_rate",
+)
+
+
+def _service_to(payload: dict) -> dict:
+    # The whole "timing" block is wall clock (a _TIMING_FIELDS member):
+    # zero it like rejection's runtime_seconds so equal fingerprints mean
+    # equal stored bytes across executions.
+    data = dict(payload)
+    data["timing"] = {key: 0.0 for key in data["timing"]}
+    return data
+
+
+def _service_from(data: dict) -> dict:
+    out = {field: int(data[field]) for field in _SERVICE_INT_FIELDS}
+    for field in _SERVICE_FLOAT_FIELDS:
+        out[field] = float(data[field])
+    utilization = data["utilization"]
+    out["utilization"] = {
+        "samples": int(utilization["samples"]),
+        **{
+            key: float(utilization[key])
+            for key in ("mean_slot", "last_slot", "mean_bw", "last_bw")
+        },
+    }
+    out["timing"] = {key: float(value) for key, value in data["timing"].items()}
+    out["load_profile"] = str(data["load_profile"])
+    out["fingerprint"] = str(data["fingerprint"])
+    return out
+
+
+def _service_metrics(payload: dict) -> dict[str, float]:
+    arrivals = payload["arrivals"]
+    return {
+        "rejection_rate": payload["rejection_rate"],
+        "windowed_rejection_rate": payload["windowed_rejection_rate"],
+        "accepted_fraction": (
+            payload["accepted"] / arrivals if arrivals else 0.0
+        ),
+        "departures": float(payload["departures"]),
+        "mean_slot_utilization": payload["utilization"]["mean_slot"],
+        "mean_bw_utilization": payload["utilization"]["mean_bw"],
+    }
+
+
 _FAILURE_INT_FIELDS = (
     "placed",
     "placed_vms",
@@ -369,6 +430,13 @@ register_codec(
     to_payload=_identity,
     from_payload=_temporal_from,
     metrics=_temporal_metrics,
+)
+register_codec(
+    "service",
+    version=1,
+    to_payload=_service_to,
+    from_payload=_service_from,
+    metrics=_service_metrics,
 )
 def _bench_metrics(payload: dict) -> dict[str, float]:
     """Throughput figures of a smoke-bench report (higher is better).

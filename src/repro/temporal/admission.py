@@ -45,7 +45,9 @@ ledger uses.
 from __future__ import annotations
 
 import math
+import weakref
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -171,6 +173,14 @@ class TemporalLedger(SlotAccountingMixin):
         self.slot_cap = flat.slots
         self._over: set[int] = set()
         self._ratios: tuple[float, ...] = tuple([1.0] * windows)
+        # Ratio memo: profiles hash by their factors tuple, and the
+        # window-to-peak ratios are a pure function of them, so a pool
+        # of ~80 recurring tenants computes each division exactly once
+        # over a million-event service run.  ``_active_profile`` is the
+        # identity fast path for back-to-back activations of the same
+        # tenant (cohort admission sorts consecutive same-profile runs).
+        self._ratio_cache: dict[TemporalProfile, tuple[float, ...]] = {}
+        self._active_profile: TemporalProfile | None = None
         self._planes = tuple(
             TemporalPlaneView(self, window) for window in range(windows)
         )
@@ -190,16 +200,26 @@ class TemporalLedger(SlotAccountingMixin):
 
     # ------------------------------------------------------------------
     def set_ratios(self, profile: TemporalProfile) -> None:
-        """Activate one tenant's window-to-peak ratios."""
-        if profile.windows != self.windows:
-            raise SimulationError(
-                f"profile has {profile.windows} windows, ledger has "
-                f"{self.windows}"
-            )
-        peak = profile.peak
-        if peak <= 0:
-            raise SimulationError("profile peak must be positive")
-        self._ratios = tuple(factor / peak for factor in profile.factors)
+        """Activate one tenant's window-to-peak ratios (memoized)."""
+        if profile is self._active_profile:
+            return
+        ratios = self._ratio_cache.get(profile)
+        if ratios is None:
+            if profile.windows != self.windows:
+                raise SimulationError(
+                    f"profile has {profile.windows} windows, ledger has "
+                    f"{self.windows}"
+                )
+            peak = profile.peak
+            if peak <= 0:
+                raise SimulationError("profile peak must be positive")
+            ratios = tuple(factor / peak for factor in profile.factors)
+            self._ratio_cache[profile] = ratios
+            c = _obs.counters
+            if c is not None:
+                c.bump("temporal.ratio_compiles")
+        self._ratios = ratios
+        self._active_profile = profile
 
     # ------------------------------------------------------------------
     # Ledger surface used by placement: queries (slot queries come from
@@ -442,12 +462,26 @@ class TemporalCluster:
             self.ledger, use_candidate_index=use_candidate_index
         )
         self._admitted: dict[int, TemporalAdmission] = {}
+        # ``TemporalTag.peak_tag()`` builds a fresh scaled Tag per call;
+        # memoizing it per tenant keeps the placer's per-tag-identity
+        # caches (compiled requirement closures, candidate plans) hot
+        # when the same pool tenant arrives again and again.
+        self._peak_tags: "weakref.WeakKeyDictionary[TemporalTag, object]" = (
+            weakref.WeakKeyDictionary()
+        )
         self.rejected = 0
 
     @property
     def admitted(self) -> list[TemporalAdmission]:
         """Live admissions, in admission order."""
         return list(self._admitted.values())
+
+    def _peak_tag(self, tenant: TemporalTag):
+        tag = self._peak_tags.get(tenant)
+        if tag is None:
+            tag = tenant.peak_tag()
+            self._peak_tags[tenant] = tag
+        return tag
 
     def admit(self, tenant: TemporalTag) -> TemporalAdmission | None:
         """Place one time-varying tenant; None when any window overflows."""
@@ -457,7 +491,7 @@ class TemporalCluster:
                 f"{self.windows}"
             )
         self.ledger.set_ratios(tenant.profile)
-        result = self.placer.place(tenant.peak_tag())
+        result = self.placer.place(self._peak_tag(tenant))
         if isinstance(result, Rejection):
             self.rejected += 1
             return None
@@ -465,6 +499,48 @@ class TemporalCluster:
         admission = TemporalAdmission(tenant, result.allocation)
         self._admitted[id(admission)] = admission
         return admission
+
+    def admit_cohort(
+        self, tenants: Sequence[TemporalTag]
+    ) -> list[TemporalAdmission | None]:
+        """Admit one arrival cohort with a fused W-plane feasibility pass.
+
+        Decision-identical to :meth:`admit` called per tenant in arrival
+        order (a test pins this): VM slots are plane-invariant, so one
+        running root free-slot count screens the whole batch — a tenant
+        whose VM count exceeds it is rejected without activating its
+        ratios or walking any plane (the placer's own first gate would
+        reject it identically) — and survivors place under the memoized
+        ratios, paying the per-plane work only for tenants that can
+        actually fit.
+        """
+        ledger = self.ledger
+        root_id = ledger.flat.root_id
+        free = ledger.free_slots_id(root_id)
+        results: list[TemporalAdmission | None] = []
+        for tenant in tenants:
+            if tenant.profile.windows != self.windows:
+                raise SimulationError(
+                    f"tenant has {tenant.profile.windows} windows, cluster "
+                    f"has {self.windows}"
+                )
+            tag = self._peak_tag(tenant)
+            if tag.size > free:  # type: ignore[attr-defined]
+                self.rejected += 1
+                results.append(None)
+                continue
+            ledger.set_ratios(tenant.profile)
+            result = self.placer.place(tag)
+            if isinstance(result, Rejection):
+                self.rejected += 1
+                results.append(None)
+                continue
+            assert isinstance(result, Placement)
+            admission = TemporalAdmission(tenant, result.allocation)
+            self._admitted[id(admission)] = admission
+            results.append(admission)
+            free = ledger.free_slots_id(root_id)
+        return results
 
     def depart(self, admission: TemporalAdmission) -> None:
         # Release must run under the departing tenant's own ratios: its

@@ -153,6 +153,7 @@ class TestRegistry:
         "fig13",
         "inference",
         "runtime",
+        "service",
         "table1",
         "temporal",
     }

@@ -126,6 +126,7 @@ class TestCli:
             "inference",
             "temporal",
             "failure",
+            "service",
         }
 
     def test_list_command(self, capsys):

@@ -100,6 +100,14 @@ def _telemetry_payload():
     }
 
 
+def _service_payload():
+    # Canonical like _rejection_payload: the whole "timing" block is wall
+    # clock, so the codec zeroes it in the persisted encoding.
+    payload = execute_trial(_trial("service")).payload
+    payload["timing"] = {key: 0.0 for key in payload["timing"]}
+    return payload
+
+
 def _temporal_payload():
     return {
         "windows": 4,
@@ -118,6 +126,7 @@ PAYLOAD_FACTORIES = {
     "hose_fail": _hose_fail_payload,
     "survey": _survey_payload,
     "temporal": _temporal_payload,
+    "service": _service_payload,
     "failure": _failure_payload,
     "bench": _bench_payload,
     "telemetry": _telemetry_payload,

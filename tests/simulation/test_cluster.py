@@ -96,3 +96,29 @@ class TestLoops:
         )
         assert len(accepted) == 5
         assert manager.metrics.tenants_total == 20
+
+
+class TestRunMetricsEmptyRun:
+    """An untouched RunMetrics must survive the store round-trip."""
+
+    def test_empty_run_serialization_round_trip(self):
+        import json
+
+        from repro.simulation.metrics import RunMetrics
+
+        metrics = RunMetrics()
+        restored = RunMetrics.from_dict(json.loads(json.dumps(metrics.to_dict())))
+        assert restored == metrics
+
+    def test_empty_run_rates_and_means_are_zero(self):
+        from repro.simulation.metrics import RunMetrics
+
+        metrics = RunMetrics()
+        assert metrics.tenant_rejection_rate == 0.0
+        assert metrics.vm_rejection_rate == 0.0
+        assert metrics.bw_rejection_rate == 0.0
+        assert metrics.mean_slot_utilization == 0.0
+        assert metrics.mean_bandwidth_utilization == 0.0
+        assert metrics.wcs.mean == 0.0
+        assert metrics.wcs.minimum == 0.0
+        assert metrics.wcs.maximum == 0.0

@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "enforcement_dynamics.py",
     "scenario_engine.py",
     "results_store.py",
+    "service_loop.py",
 ]
 
 
